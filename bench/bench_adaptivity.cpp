@@ -1,0 +1,71 @@
+// E11 / Section 6: adaptivity to skewed insertion patterns.
+//
+// "An L-Tree can automatically adapt to uneven insertion rates in different
+// areas of the XML document: in the areas with heavy insertion activity,
+// the L-Tree adjusts itself by creating more slack between labels."
+//
+// Sweeps the hotspot skew and shows the amortized cost stays O(log n)-ish
+// across the whole range (the uniform bound continues to apply).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "model/cost_model.h"
+
+using namespace ltree;
+
+int main() {
+  bench::PrintHeader(
+      "E11 / Section 6: cost under skewed (hotspot) insertions",
+      "Claim: splits concentrate where the insertions are, so skew does not "
+      "break the O(log n) amortized bound.");
+
+  const Params params{.f = 16, .s = 4};
+  const uint64_t initial = 100000;
+  const uint64_t inserts = 50000;
+  const double bound = model::CostModel::AmortizedInsertCost(
+      params.f, params.s, static_cast<double>(initial));
+
+  std::printf("params f=%u s=%u, n=%llu, %llu inserts; Section 3.1 bound = "
+              "%.1f\n\n",
+              params.f, params.s, (unsigned long long)initial,
+              (unsigned long long)inserts, bound);
+  std::printf("%-22s %12s %10s %10s %8s\n", "stream", "cost/insert",
+              "splits", "rootsplit", "bits");
+
+  // Uniform as the reference point.
+  {
+    workload::StreamOptions uniform;
+    uniform.kind = workload::StreamKind::kUniform;
+    uniform.seed = 97;
+    auto run = bench::RunInsertWorkload(params, initial, inserts, uniform);
+    std::printf("%-22s %12.2f %10llu %10llu %8u\n", "uniform",
+                run.amortized_node_accesses, (unsigned long long)run.splits,
+                (unsigned long long)run.root_splits, run.label_bits);
+  }
+  for (double theta : {0.0, 0.5, 0.9, 1.2}) {
+    workload::StreamOptions hotspot;
+    hotspot.kind = workload::StreamKind::kHotspot;
+    hotspot.zipf_theta = theta;
+    hotspot.seed = 97;
+    auto run = bench::RunInsertWorkload(params, initial, inserts, hotspot);
+    std::printf("hotspot(theta=%.1f)     %12.2f %10llu %10llu %8u\n", theta,
+                run.amortized_node_accesses, (unsigned long long)run.splits,
+                (unsigned long long)run.root_splits, run.label_bits);
+  }
+  {
+    workload::StreamOptions prepend;
+    prepend.kind = workload::StreamKind::kPrepend;
+    prepend.seed = 97;
+    auto run = bench::RunInsertWorkload(params, initial, inserts, prepend);
+    std::printf("%-22s %12.2f %10llu %10llu %8u\n", "prepend (max skew)",
+                run.amortized_node_accesses, (unsigned long long)run.splits,
+                (unsigned long long)run.root_splits, run.label_bits);
+  }
+  std::printf(
+      "\nExpected: every row stays below the Section 3.1 bound; heavier "
+      "skew means\nmore splits in the hot region (the tree carving out "
+      "slack there) but the\namortized cost and label width stay in the "
+      "same O(log n) regime.\n");
+  return 0;
+}

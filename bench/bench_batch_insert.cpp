@@ -1,0 +1,77 @@
+// E9 / Section 4.1: batch (subtree) insertion lowers the amortized cost
+// roughly logarithmically in the batch size.
+//
+// Inserts the same total number of leaves at uniform random positions, in
+// batches of k, and compares the per-leaf amortized node accesses against
+// the Section 4.1 bound.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "model/cost_model.h"
+
+using namespace ltree;
+
+namespace {
+
+double RunBatched(const Params& params, uint64_t initial,
+                  uint64_t total_leaves, uint64_t k, uint64_t seed) {
+  auto tree = LTree::Create(params).ValueOrDie();
+  std::vector<LeafCookie> cookies(initial);
+  for (uint64_t i = 0; i < initial; ++i) cookies[i] = i;
+  std::vector<LTree::LeafHandle> handles;
+  handles.reserve(initial + total_leaves);
+  LTREE_CHECK_OK(tree->BulkLoad(cookies, &handles));
+  tree->ResetStats();
+
+  Rng rng(seed);
+  uint64_t remaining = total_leaves;
+  uint64_t next_cookie = initial;
+  while (remaining > 0) {
+    const uint64_t batch = std::min(k, remaining);
+    std::vector<LeafCookie> batch_cookies(batch);
+    for (uint64_t i = 0; i < batch; ++i) batch_cookies[i] = next_cookie++;
+    const size_t r = static_cast<size_t>(rng.Uniform(handles.size()));
+    LTREE_CHECK_OK(
+        tree->InsertBatchAfter(handles[r], batch_cookies, &handles));
+    remaining -= batch;
+  }
+  LTREE_CHECK_OK(tree->CheckInvariants());
+  return tree->stats().AmortizedCostPerInsert();
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "E9 / Section 4.1: amortized cost vs batch size k",
+      "Claim: inserting subtrees of k leaves at once cuts the per-leaf cost "
+      "roughly logarithmically in k.");
+
+  const Params params{.f = 16, .s = 4};
+  const uint64_t initial = 100000;
+  const uint64_t total = 50000;
+
+  std::printf("params f=%u s=%u, initial n=%llu, %llu leaves inserted total\n\n",
+              params.f, params.s, (unsigned long long)initial,
+              (unsigned long long)total);
+  std::printf("%8s %14s %16s %10s\n", "k", "bound(4.1)", "measured/leaf",
+              "vs k=1");
+  double k1_cost = 0.0;
+  for (uint64_t k : {1, 2, 4, 16, 64, 256, 1024, 4096}) {
+    const double measured = RunBatched(params, initial, total, k, 57);
+    if (k == 1) k1_cost = measured;
+    const double bound = model::CostModel::BatchAmortizedCost(
+        params.f, params.s, static_cast<double>(initial),
+        static_cast<double>(k));
+    std::printf("%8llu %14.1f %16.2f %9.2fx\n", (unsigned long long)k, bound,
+                measured, k1_cost / measured);
+  }
+  std::printf(
+      "\nExpected: the measured column decreases as k grows, tracking the "
+      "bound's\nshape — each 4x in k removes roughly a constant amount, the "
+      "logarithmic\ndecrease the paper derives (\"the decrease of the cost "
+      "is roughly logarithmic\nin the increase of insertion size\").\n");
+  return 0;
+}

@@ -1,0 +1,146 @@
+// Microbenchmarks (google-benchmark): raw operation latencies of the core
+// structures. Complements the experiment tables with wall-clock numbers.
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/random.h"
+#include "core/ltree.h"
+#include "obtree/counted_btree.h"
+#include "query/path_query.h"
+#include "virtual_ltree/virtual_ltree.h"
+#include "workload/xml_generator.h"
+#include "docstore/labeled_document.h"
+
+namespace ltree {
+namespace {
+
+void BM_LTreeUniformInsert(benchmark::State& state) {
+  const uint64_t n = static_cast<uint64_t>(state.range(0));
+  auto tree = LTree::Create(Params{.f = 16, .s = 4}).ValueOrDie();
+  std::vector<LeafCookie> cookies(n);
+  std::iota(cookies.begin(), cookies.end(), 0);
+  std::vector<LTree::LeafHandle> handles;
+  handles.reserve(n * 3);
+  (void)tree->BulkLoad(cookies, &handles);
+  Rng rng(1);
+  uint64_t cookie = n;
+  for (auto _ : state) {
+    const size_t r = static_cast<size_t>(rng.Uniform(handles.size()));
+    auto h = tree->InsertAfter(handles[r], cookie++);
+    benchmark::DoNotOptimize(h);
+    handles.push_back(*h);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LTreeUniformInsert)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_LTreeAppend(benchmark::State& state) {
+  auto tree = LTree::Create(Params{.f = 16, .s = 4}).ValueOrDie();
+  uint64_t cookie = 0;
+  auto last = tree->PushBack(cookie++).ValueOrDie();
+  for (auto _ : state) {
+    last = tree->InsertAfter(last, cookie++).ValueOrDie();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LTreeAppend);
+
+void BM_LTreeLabelRead(benchmark::State& state) {
+  auto tree = LTree::Create(Params{.f = 16, .s = 4}).ValueOrDie();
+  std::vector<LeafCookie> cookies(100000);
+  std::iota(cookies.begin(), cookies.end(), 0);
+  std::vector<LTree::LeafHandle> handles;
+  (void)tree->BulkLoad(cookies, &handles);
+  Rng rng(2);
+  for (auto _ : state) {
+    const size_t r = static_cast<size_t>(rng.Uniform(handles.size()));
+    benchmark::DoNotOptimize(tree->label(handles[r]));
+  }
+}
+BENCHMARK(BM_LTreeLabelRead);
+
+void BM_VirtualLTreeUniformInsert(benchmark::State& state) {
+  const uint64_t n = static_cast<uint64_t>(state.range(0));
+  auto tree = VirtualLTree::Create(Params{.f = 16, .s = 4}).ValueOrDie();
+  std::vector<LeafCookie> cookies(n);
+  std::iota(cookies.begin(), cookies.end(), 0);
+  (void)tree->BulkLoad(cookies);
+  Rng rng(3);
+  uint64_t cookie = n;
+  for (auto _ : state) {
+    const uint64_t r = rng.Uniform(tree->num_slots());
+    auto prev = tree->SelectSlot(r).ValueOrDie();
+    auto l = tree->InsertAfter(prev, cookie++);
+    benchmark::DoNotOptimize(l);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VirtualLTreeUniformInsert)->Arg(10000)->Arg(100000);
+
+void BM_CountedBTreeInsert(benchmark::State& state) {
+  obtree::CountedBTree tree(64);
+  Rng rng(4);
+  for (auto _ : state) {
+    (void)tree.Insert(rng.Next64(), 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CountedBTreeInsert);
+
+void BM_CountedBTreeRangeCount(benchmark::State& state) {
+  obtree::CountedBTree tree(64);
+  for (uint64_t i = 0; i < 100000; ++i) (void)tree.Insert(i * 7, i);
+  Rng rng(5);
+  for (auto _ : state) {
+    const uint64_t lo = rng.Uniform(600000);
+    benchmark::DoNotOptimize(tree.RangeCount(lo, lo + 10000));
+  }
+}
+BENCHMARK(BM_CountedBTreeRangeCount);
+
+void BM_PathQueryLabels(benchmark::State& state) {
+  static auto* store =
+      docstore::LabeledDocument::FromDocument(
+          workload::GenerateCatalog(2000, 4, 7), Params{.f = 16, .s = 4})
+          .MoveValueUnsafe()
+          .release();
+  auto q = query::PathQuery::Parse("//book//title").ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        query::EvaluateWithLabels(q, store->table()).size());
+  }
+}
+BENCHMARK(BM_PathQueryLabels);
+
+void BM_PathQueryEdges(benchmark::State& state) {
+  static auto* store =
+      docstore::LabeledDocument::FromDocument(
+          workload::GenerateCatalog(2000, 4, 7), Params{.f = 16, .s = 4})
+          .MoveValueUnsafe()
+          .release();
+  auto q = query::PathQuery::Parse("//book//title").ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        query::EvaluateWithEdges(q, store->table()).size());
+  }
+}
+BENCHMARK(BM_PathQueryEdges);
+
+void BM_XmlParse(benchmark::State& state) {
+  const std::string xml_text = workload::GenerateCatalogXml(500, 3, 9);
+  for (auto _ : state) {
+    auto doc = xml::Parse(xml_text);
+    benchmark::DoNotOptimize(doc);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(xml_text.size()));
+}
+BENCHMARK(BM_XmlParse);
+
+}  // namespace
+}  // namespace ltree
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+// E6-E8 / Section 3.2: the three tuning models.
+//
+// (a) Unconstrained min-cost: the model's argmin over the (f, s) lattice is
+//     validated against empirical measurements on the same lattice.
+// (b) Min-cost under a bits budget: the chosen point respects the budget
+//     and lands on the boundary when the budget binds.
+// (c) Overall query+update cost: the optimum shifts toward fewer bits as
+//     the workload becomes query-dominated (with a small machine word,
+//     making label-comparison cost visible).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "model/cost_model.h"
+#include "model/tuner.h"
+
+using namespace ltree;
+
+namespace {
+
+double Measured(const Params& p, uint64_t initial, uint64_t inserts) {
+  workload::StreamOptions stream;
+  stream.kind = workload::StreamKind::kUniform;
+  stream.seed = 41;
+  return bench::RunInsertWorkload(p, initial, inserts, stream)
+      .amortized_node_accesses;
+}
+
+}  // namespace
+
+int main() {
+  const double n_model = 1e5;
+  const uint64_t n_emp = 100000;
+  const uint64_t inserts = 20000;
+
+  bench::PrintHeader(
+      "E6 / Section 3.2 model (a): unconstrained minimum update cost",
+      "Claim: solving dcost/df = dcost/ds = 0 picks (f*, s*); the empirical "
+      "cost surface over the lattice agrees.");
+  auto best = model::Tuner::MinimizeCost(n_model);
+  auto [fc, sc] = model::Tuner::ContinuousMinimizeCost(n_model);
+  std::printf("model argmin:      %s\n", best.ToString().c_str());
+  std::printf("continuous optimum: f*=%.1f s*=%.1f cost=%.2f\n\n", fc, sc,
+              model::CostModel::AmortizedInsertCost(fc, sc, n_model));
+
+  std::printf("%-14s %12s %12s %8s\n", "params", "predicted", "measured",
+              "rank?");
+  const Params lattice[] = {{.f = 4, .s = 2},   {.f = 8, .s = 2},
+                            {.f = 8, .s = 4},   {.f = 16, .s = 4},
+                            {.f = 12, .s = 6},  {.f = 32, .s = 8},
+                            {.f = 64, .s = 2},  {.f = 128, .s = 2},
+                            best.params};
+  double best_measured = 1e300;
+  double rec_measured = 0.0;
+  for (const Params& p : lattice) {
+    const double pred =
+        model::CostModel::AmortizedInsertCost(p.f, p.s, n_model);
+    const double meas = Measured(p, n_emp, inserts);
+    const bool is_rec = p.f == best.params.f && p.s == best.params.s;
+    if (is_rec) rec_measured = meas;
+    best_measured = std::min(best_measured, meas);
+    std::printf("f=%-4u s=%-3u %12.1f %12.2f %8s\n", p.f, p.s, pred, meas,
+                is_rec ? "<- rec" : "");
+  }
+  std::printf("recommended point is within %.0f%% of the empirical lattice "
+              "minimum\n",
+              100.0 * (rec_measured / best_measured - 1.0));
+
+  bench::PrintHeader(
+      "E7 / Section 3.2 model (b): minimum cost under a bits budget",
+      "Claim: when the budget binds, the constrained optimum moves to the "
+      "boundary (Lagrange condition) and costs more.");
+  std::printf("%-10s %-16s %10s %10s\n", "budget", "choice", "bits", "cost");
+  for (double budget : {64.0, 48.0, 40.0, 32.0, 24.0, 20.0}) {
+    auto r = model::Tuner::MinimizeCostWithBitsBudget(n_model, budget);
+    if (!r.ok()) {
+      std::printf("%-10.0f infeasible within the lattice\n", budget);
+      continue;
+    }
+    std::printf("%-10.0f f=%-4u s=%-6u %10.1f %10.1f\n", budget, r->params.f,
+                r->params.s, r->predicted_bits, r->predicted_cost);
+  }
+  std::printf("(unconstrained: bits=%.1f cost=%.1f)\n", best.predicted_bits,
+              best.predicted_cost);
+
+  bench::PrintHeader(
+      "E8 / Section 3.2 model (c): overall query+update cost",
+      "Claim: as the query share grows (16-bit comparison words make label "
+      "width matter), the optimum trades update cost for smaller labels.");
+  std::printf("%-14s %-16s %10s %12s %10s\n", "query frac", "choice", "bits",
+              "update cost", "overall");
+  for (double q : {0.0, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    auto r = model::Tuner::MinimizeOverallCost(n_model, q, /*word_bits=*/16);
+    std::printf("%-14.3f f=%-4u s=%-6u %10.1f %12.1f %10.3f\n", q,
+                r.params.f, r.params.s, r.predicted_bits, r.predicted_cost,
+                r.predicted_overall);
+  }
+  return 0;
+}

@@ -1,0 +1,96 @@
+#include "bench/bench_util.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+
+namespace ltree {
+namespace bench {
+
+// Position sampling note: ranks are not maintained explicitly (that would
+// cost O(n) per op and pollute the measurement). Instead:
+//  * uniform: a uniformly sampled existing leaf is exactly an insertion at
+//    a uniform random rank;
+//  * hotspot: inserts cluster after a rolling window of handles around the
+//    middle of the initial document, with Zipf-weighted recency.
+InsertRunResult RunInsertWorkload(
+    const Params& params, uint64_t initial, uint64_t inserts,
+    const workload::StreamOptions& stream_options) {
+  InsertRunResult out;
+  auto tree_or = LTree::Create(params);
+  LTREE_CHECK(tree_or.ok());
+  auto tree = std::move(tree_or).ValueOrDie();
+
+  std::vector<LeafCookie> cookies(initial);
+  for (uint64_t i = 0; i < initial; ++i) cookies[i] = i;
+  std::vector<LTree::LeafHandle> handles;
+  handles.reserve(initial + inserts);
+  LTREE_CHECK_OK(tree->BulkLoad(cookies, &handles));
+  tree->ResetStats();
+
+  Rng rng(stream_options.seed);
+  ZipfSampler zipf(1024, stream_options.zipf_theta);
+  std::vector<LTree::LeafHandle> hot;
+  if (stream_options.kind == workload::StreamKind::kHotspot) {
+    hot.push_back(handles[handles.size() / 2]);
+  }
+
+  Timer timer;
+  for (uint64_t i = 0; i < inserts; ++i) {
+    Result<LTree::LeafHandle> fresh = Status::Internal("unset");
+    switch (stream_options.kind) {
+      case workload::StreamKind::kUniform: {
+        const size_t r = static_cast<size_t>(rng.Uniform(handles.size()));
+        fresh = tree->InsertAfter(handles[r], initial + i);
+        break;
+      }
+      case workload::StreamKind::kAppend:
+        fresh = tree->InsertAfter(handles.back(), initial + i);
+        break;
+      case workload::StreamKind::kPrepend:
+        fresh = tree->InsertBefore(handles[0], initial + i);
+        break;
+      case workload::StreamKind::kHotspot: {
+        const size_t pick = static_cast<size_t>(
+            std::min<uint64_t>(zipf.Sample(&rng), hot.size() - 1));
+        // Zipf rank 0 = most recent hotspot insert.
+        fresh = tree->InsertAfter(hot[hot.size() - 1 - pick], initial + i);
+        break;
+      }
+      case workload::StreamKind::kMixed: {
+        const size_t r = static_cast<size_t>(rng.Uniform(handles.size()));
+        if (rng.Bernoulli(stream_options.erase_fraction) &&
+            !tree->deleted(handles[r])) {
+          LTREE_CHECK_OK(tree->MarkDeleted(handles[r]));
+        }
+        const size_t r2 = static_cast<size_t>(rng.Uniform(handles.size()));
+        fresh = tree->InsertAfter(handles[r2], initial + i);
+        break;
+      }
+    }
+    LTREE_CHECK(fresh.ok());
+    handles.push_back(*fresh);
+    if (stream_options.kind == workload::StreamKind::kHotspot) {
+      hot.push_back(*fresh);
+      if (hot.size() > 1024) hot.erase(hot.begin());
+    }
+  }
+  out.wall_seconds = timer.ElapsedSeconds();
+
+  const LTreeStats& st = tree->stats();
+  out.amortized_node_accesses = st.AmortizedCostPerInsert();
+  out.relabels_per_insert =
+      inserts == 0 ? 0.0
+                   : static_cast<double>(st.leaves_relabeled) /
+                         static_cast<double>(inserts);
+  out.splits = st.splits;
+  out.root_splits = st.root_splits;
+  out.label_bits = tree->label_bits();
+  out.height = tree->height();
+  out.max_label = tree->max_label();
+  LTREE_CHECK_OK(tree->CheckInvariants());
+  return out;
+}
+
+}  // namespace bench
+}  // namespace ltree

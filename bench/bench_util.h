@@ -1,0 +1,49 @@
+// Shared helpers for the paper-reproduction bench harness.
+//
+// Each bench binary regenerates one experiment from DESIGN.md §4 and prints
+// a table with paper-predicted columns next to measured columns; the
+// EXPERIMENTS.md write-up records one run of each.
+
+#ifndef LTREE_BENCH_BENCH_UTIL_H_
+#define LTREE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/random.h"
+#include "core/ltree.h"
+#include "workload/update_stream.h"
+
+namespace ltree {
+namespace bench {
+
+inline void PrintHeader(const std::string& experiment,
+                        const std::string& claim) {
+  std::printf("\n=== %s ===\n%s\n\n", experiment.c_str(), claim.c_str());
+}
+
+/// Result of driving an LTree through a stream of single-leaf inserts.
+struct InsertRunResult {
+  double amortized_node_accesses = 0.0;  // paper's cost metric
+  double relabels_per_insert = 0.0;
+  uint64_t splits = 0;
+  uint64_t root_splits = 0;
+  uint32_t label_bits = 0;
+  uint32_t height = 0;
+  uint64_t max_label = 0;
+  double wall_seconds = 0.0;
+};
+
+/// Bulk loads `initial` leaves, applies `inserts` single-leaf insertions
+/// drawn from `stream_options`, and reports the incremental-maintenance
+/// statistics (bulk load excluded, as in the paper's amortization).
+InsertRunResult RunInsertWorkload(const Params& params, uint64_t initial,
+                                  uint64_t inserts,
+                                  const workload::StreamOptions& stream_options);
+
+}  // namespace bench
+}  // namespace ltree
+
+#endif  // LTREE_BENCH_BENCH_UTIL_H_

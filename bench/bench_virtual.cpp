@@ -1,0 +1,133 @@
+// E10 / Section 4.2: the virtual L-Tree.
+//
+// "There is clearly a tradeoff between the extra computation required by
+// the range queries and the storage space necessary for materializing the
+// L-Tree." This bench quantifies both sides and verifies the two
+// representations produce identical labels on the same op stream.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "virtual_ltree/virtual_ltree.h"
+
+using namespace ltree;
+
+namespace {
+
+struct SideResult {
+  double load_ms;
+  double insert_ms;
+  double mem_mb;
+  std::vector<Label> labels;
+};
+
+uint64_t CountNodes(const Node* n) {
+  uint64_t total = 1;
+  for (const Node* c : n->children) total += CountNodes(c);
+  return total;
+}
+
+SideResult RunMaterialized(const Params& p, uint64_t initial,
+                           uint64_t inserts) {
+  SideResult out;
+  auto tree = LTree::Create(p).ValueOrDie();
+  std::vector<LeafCookie> cookies(initial);
+  for (uint64_t i = 0; i < initial; ++i) cookies[i] = i;
+  std::vector<LTree::LeafHandle> handles;
+  Timer load;
+  LTREE_CHECK_OK(tree->BulkLoad(cookies, &handles));
+  out.load_ms = load.ElapsedMillis();
+  Rng rng(71);
+  Timer ins;
+  for (uint64_t i = 0; i < inserts; ++i) {
+    const size_t r = static_cast<size_t>(rng.Uniform(handles.size()));
+    auto h = tree->InsertAfter(handles[r], initial + i);
+    LTREE_CHECK(h.ok());
+    handles.push_back(*h);
+  }
+  out.insert_ms = ins.ElapsedMillis();
+  // Materialized memory: every node is ~ (ptr + vector + counters) ~= 80B
+  // plus child-pointer slots.
+  const uint64_t nodes = CountNodes(tree->root());
+  out.mem_mb = static_cast<double>(nodes) * 96.0 / 1e6;
+  out.labels = tree->AllLabels();
+  return out;
+}
+
+/// Keeps cookie -> current label up to date, so the virtual runner can
+/// replay the exact op stream of the materialized one (which addresses
+/// positions by stable handles in creation order).
+class LabelTracker : public RelabelListener {
+ public:
+  explicit LabelTracker(std::vector<Label>* labels) : labels_(labels) {}
+  void OnRelabel(LeafCookie cookie, Label, Label new_label) override {
+    (*labels_)[cookie] = new_label;
+  }
+
+ private:
+  std::vector<Label>* labels_;
+};
+
+SideResult RunVirtual(const Params& p, uint64_t initial, uint64_t inserts) {
+  SideResult out;
+  auto tree = VirtualLTree::Create(p).ValueOrDie();
+  std::vector<Label> label_of_cookie(initial + inserts, 0);
+  LabelTracker tracker(&label_of_cookie);
+  tree->set_listener(&tracker);
+  std::vector<LeafCookie> cookies(initial);
+  for (uint64_t i = 0; i < initial; ++i) cookies[i] = i;
+  std::vector<Label> loaded;
+  Timer load;
+  LTREE_CHECK_OK(tree->BulkLoad(cookies, &loaded));
+  for (uint64_t i = 0; i < initial; ++i) label_of_cookie[i] = loaded[i];
+  out.load_ms = load.ElapsedMillis();
+  Rng rng(71);  // same stream as the materialized runner
+  Timer ins;
+  uint64_t created = initial;
+  for (uint64_t i = 0; i < inserts; ++i) {
+    const uint64_t r = rng.Uniform(created);
+    auto l = tree->InsertAfter(label_of_cookie[r], initial + i);
+    LTREE_CHECK(l.ok());
+    label_of_cookie[created] = *l;
+    ++created;
+  }
+  out.insert_ms = ins.ElapsedMillis();
+  out.mem_mb = static_cast<double>(tree->ApproxMemoryBytes()) / 1e6;
+  out.labels = tree->AllLabels();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "E10 / Section 4.2: materialized vs virtual L-Tree",
+      "Claim: identical labels with no materialized structure, trading "
+      "extra per-op computation (counted-B-tree range ops) for space.");
+
+  const Params params{.f = 16, .s = 4};
+  std::printf("%10s %14s | %10s %12s %10s | %10s %12s %10s | %8s\n", "n",
+              "inserts", "mat load", "mat insert", "mat MB", "virt load",
+              "virt insert", "virt MB", "equal?");
+  for (uint64_t n : {10000ull, 100000ull}) {
+    const uint64_t inserts = n / 5;
+    auto mat = RunMaterialized(params, n, inserts);
+    auto virt = RunVirtual(params, n, inserts);
+    const bool equal = mat.labels == virt.labels;
+    std::printf("%10llu %14llu | %8.1fms %10.1fms %9.1fMB | %8.1fms "
+                "%10.1fms %9.1fMB | %8s\n",
+                (unsigned long long)n, (unsigned long long)inserts,
+                mat.load_ms, mat.insert_ms, mat.mem_mb, virt.load_ms,
+                virt.insert_ms, virt.mem_mb, equal ? "yes" : "NO");
+    LTREE_CHECK(equal);
+  }
+  std::printf(
+      "\nNote on the position-lookup cost: the materialized runner holds "
+      "stable leaf\nhandles (O(1) label reads); the virtual runner pays an "
+      "extra O(log n) select\nper op plus O(log n) per touched label during "
+      "relabeling — exactly the\n\"extra computation\" the paper trades "
+      "against materialization space.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Error-propagation and invariant-check macros.
+
+#ifndef LTREE_COMMON_MACROS_H_
+#define LTREE_COMMON_MACROS_H_
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/status.h"
+
+#define LTREE_CONCAT_IMPL(a, b) a##b
+#define LTREE_CONCAT(a, b) LTREE_CONCAT_IMPL(a, b)
+
+/// Propagates a non-OK Status to the caller.
+#define LTREE_RETURN_IF_ERROR(expr)                 \
+  do {                                              \
+    ::ltree::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                      \
+  } while (false)
+
+/// Evaluates a Result<T> expression; on error returns the Status, otherwise
+/// assigns the value to `lhs` (which may be a declaration).
+#define LTREE_ASSIGN_OR_RETURN(lhs, rexpr)                       \
+  LTREE_ASSIGN_OR_RETURN_IMPL(LTREE_CONCAT(_res_, __LINE__), lhs, rexpr)
+
+#define LTREE_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = tmp.MoveValueUnsafe()
+
+/// Aborts on violated invariants (programmer errors, not user errors).
+#define LTREE_CHECK(cond)                                                 \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::cerr << "LTREE_CHECK failed at " << __FILE__ << ":" << __LINE__ \
+                << ": " #cond << "\n";                                    \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)
+
+#define LTREE_CHECK_OK(expr)                                               \
+  do {                                                                     \
+    ::ltree::Status _st = (expr);                                          \
+    if (!_st.ok()) {                                                       \
+      std::cerr << "LTREE_CHECK_OK failed at " << __FILE__ << ":"          \
+                << __LINE__ << ": " << _st.ToString() << "\n";             \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (false)
+
+#define LTREE_DCHECK(cond) LTREE_CHECK(cond)
+
+#endif  // LTREE_COMMON_MACROS_H_

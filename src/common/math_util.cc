@@ -1,0 +1,73 @@
+#include "common/math_util.h"
+
+#include <limits>
+
+#include "common/macros.h"
+
+namespace ltree {
+
+std::optional<uint64_t> CheckedMul(uint64_t a, uint64_t b) {
+  if (a == 0 || b == 0) return uint64_t{0};
+  if (a > std::numeric_limits<uint64_t>::max() / b) return std::nullopt;
+  return a * b;
+}
+
+std::optional<uint64_t> CheckedAdd(uint64_t a, uint64_t b) {
+  if (a > std::numeric_limits<uint64_t>::max() - b) return std::nullopt;
+  return a + b;
+}
+
+std::optional<uint64_t> CheckedPow(uint64_t base, uint32_t exp) {
+  uint64_t result = 1;
+  uint64_t acc = base;
+  uint32_t e = exp;
+  while (e > 0) {
+    if (e & 1u) {
+      auto r = CheckedMul(result, acc);
+      if (!r) return std::nullopt;
+      result = *r;
+    }
+    e >>= 1u;
+    if (e == 0) break;
+    auto a = CheckedMul(acc, acc);
+    if (!a) return std::nullopt;
+    acc = *a;
+  }
+  return result;
+}
+
+Result<uint64_t> PowOrCapacity(uint64_t base, uint32_t exp) {
+  auto p = CheckedPow(base, exp);
+  if (!p) {
+    return Status::CapacityExceeded("power overflows 64-bit label space");
+  }
+  return *p;
+}
+
+uint32_t FloorLog2(uint64_t x) {
+  LTREE_CHECK(x > 0);
+  return 63u - static_cast<uint32_t>(__builtin_clzll(x));
+}
+
+uint32_t CeilLog(uint64_t base, uint64_t x) {
+  LTREE_CHECK(base >= 2);
+  LTREE_CHECK(x >= 1);
+  uint32_t h = 0;
+  // acc = base^h, tracked with overflow care: once acc >= x we stop; overflow
+  // implies acc definitely exceeded x.
+  uint64_t acc = 1;
+  while (acc < x) {
+    auto next = CheckedMul(acc, base);
+    ++h;
+    if (!next) return h;  // base^h overflowed => certainly >= x
+    acc = *next;
+  }
+  return h;
+}
+
+uint32_t BitWidth(uint64_t x) {
+  if (x == 0) return 1;
+  return FloorLog2(x) + 1;
+}
+
+}  // namespace ltree

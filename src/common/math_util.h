@@ -1,0 +1,46 @@
+// Checked integer math used by the labeling structures.
+//
+// Label arithmetic works in base (f+1) over uint64_t; every power computation
+// that could overflow goes through the checked helpers here so that label
+// space exhaustion surfaces as Status::CapacityExceeded rather than silent
+// wraparound.
+
+#ifndef LTREE_COMMON_MATH_UTIL_H_
+#define LTREE_COMMON_MATH_UTIL_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace ltree {
+
+/// base^exp, or nullopt on uint64 overflow.
+std::optional<uint64_t> CheckedPow(uint64_t base, uint32_t exp);
+
+/// a*b, or nullopt on uint64 overflow.
+std::optional<uint64_t> CheckedMul(uint64_t a, uint64_t b);
+
+/// a+b, or nullopt on uint64 overflow.
+std::optional<uint64_t> CheckedAdd(uint64_t a, uint64_t b);
+
+/// base^exp as a Result (CapacityExceeded on overflow).
+Result<uint64_t> PowOrCapacity(uint64_t base, uint32_t exp);
+
+/// Floor of log2(x); x must be > 0.
+uint32_t FloorLog2(uint64_t x);
+
+/// Smallest h >= 0 with base^h >= x (base >= 2, x >= 1).
+/// I.e. ceil(log_base(x)).
+uint32_t CeilLog(uint64_t base, uint64_t x);
+
+/// ceil(a / b) for b > 0.
+constexpr uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+/// Number of bits needed to represent label value `x` (0 -> 1).
+uint32_t BitWidth(uint64_t x);
+
+}  // namespace ltree
+
+#endif  // LTREE_COMMON_MATH_UTIL_H_

@@ -1,0 +1,84 @@
+// Result<T>: value-or-Status, in the style of arrow::Result.
+
+#ifndef LTREE_COMMON_RESULT_H_
+#define LTREE_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace ltree {
+
+/// Holds either a `T` or a non-OK `Status`. Use `ok()` / `status()` to test,
+/// `ValueOrDie()` / `operator*` to access, or the LTREE_ASSIGN_OR_RETURN
+/// macro (macros.h) to propagate.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from an error status. Aborts if `status.ok()` — an OK result
+  /// must carry a value.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT implicit
+    if (std::get<Status>(repr_).ok()) {
+      std::cerr << "Result constructed from OK status without a value\n";
+      std::abort();
+    }
+  }
+
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT implicit
+
+  Result(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(const Result&) = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// OK() when a value is present, the stored error otherwise.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  const T& ValueOrDie() const& {
+    DieIfError();
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    DieIfError();
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    DieIfError();
+    return std::move(std::get<T>(repr_));
+  }
+
+  /// Moves the value out; valid only when ok().
+  T MoveValueUnsafe() { return std::move(std::get<T>(repr_)); }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Returns the value, or `fallback` on error.
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+ private:
+  void DieIfError() const {
+    if (!ok()) {
+      std::cerr << "Result::ValueOrDie on error: "
+                << std::get<Status>(repr_).ToString() << "\n";
+      std::abort();
+    }
+  }
+
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace ltree
+
+#endif  // LTREE_COMMON_RESULT_H_

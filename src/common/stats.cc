@@ -1,0 +1,122 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/macros.h"
+#include "common/math_util.h"
+
+namespace ltree {
+
+void RunningStat::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+void RunningStat::Merge(const RunningStat& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  int64_t n = count_ + other.count_;
+  double delta = other.mean_ - mean_;
+  double new_mean =
+      mean_ + delta * static_cast<double>(other.count_) / static_cast<double>(n);
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) /
+                         static_cast<double>(n);
+  mean_ = new_mean;
+  count_ = n;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStat::Reset() { *this = RunningStat(); }
+
+Histogram::Histogram() : buckets_(kBuckets, 0) {}
+
+int Histogram::BucketFor(uint64_t v) {
+  if (v == 0) return 0;
+  return 1 + static_cast<int>(FloorLog2(v));
+}
+
+void Histogram::Add(uint64_t value) {
+  buckets_[static_cast<size_t>(BucketFor(value))]++;
+  ++count_;
+  sum_ += value;
+  max_ = std::max(max_, value);
+}
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count_ - 1));
+  uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    if (seen + buckets_[static_cast<size_t>(b)] > target) {
+      if (b == 0) return 0.0;
+      double lo = std::pow(2.0, b - 1);
+      double hi = std::pow(2.0, b);
+      double frac = buckets_[static_cast<size_t>(b)] == 0
+                        ? 0.0
+                        : static_cast<double>(target - seen) /
+                              static_cast<double>(buckets_[static_cast<size_t>(b)]);
+      return lo + frac * (hi - lo);
+    }
+    seen += buckets_[static_cast<size_t>(b)];
+  }
+  return static_cast<double>(max_);
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream os;
+  os << "count=" << count_ << " mean=" << mean() << " max=" << max_ << "\n";
+  for (int b = 0; b < kBuckets; ++b) {
+    if (buckets_[static_cast<size_t>(b)] == 0) continue;
+    uint64_t lo = b == 0 ? 0 : (1ull << (b - 1));
+    uint64_t hi = b == 0 ? 0 : (1ull << b) - 1;
+    os << "  [" << lo << ", " << hi << "]: " << buckets_[static_cast<size_t>(b)]
+       << "\n";
+  }
+  return os.str();
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int b = 0; b < kBuckets; ++b) {
+    buckets_[static_cast<size_t>(b)] += other.buckets_[static_cast<size_t>(b)];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = sum_ = max_ = 0;
+}
+
+}  // namespace ltree

@@ -1,0 +1,70 @@
+// Streaming statistics helpers used by the benchmark harness.
+
+#ifndef LTREE_COMMON_STATS_H_
+#define LTREE_COMMON_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ltree {
+
+/// Welford streaming mean/variance plus min/max.
+class RunningStat {
+ public:
+  void Add(double x);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  void Merge(const RunningStat& other);
+  void Reset();
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Fixed-bucket histogram over [0, +inf) with power-of-two bucket bounds,
+/// suitable for per-operation cost distributions (relabels per insert etc.).
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(uint64_t value);
+
+  uint64_t count() const { return count_; }
+  uint64_t max() const { return max_; }
+  double mean() const;
+
+  /// Approximate quantile (q in [0,1]) from bucket interpolation.
+  double Quantile(double q) const;
+
+  /// Multi-line human-readable dump of non-empty buckets.
+  std::string ToString() const;
+
+  void Merge(const Histogram& other);
+  void Reset();
+
+ private:
+  static constexpr int kBuckets = 65;  // value 0, then [2^i, 2^{i+1})
+  static int BucketFor(uint64_t v);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t max_ = 0;
+};
+
+}  // namespace ltree
+
+#endif  // LTREE_COMMON_STATS_H_

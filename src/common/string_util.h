@@ -1,0 +1,34 @@
+// Small string helpers shared by the XML parser, query parser and the
+// table-printing bench harness.
+
+#ifndef LTREE_COMMON_STRING_UTIL_H_
+#define LTREE_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ltree {
+
+/// Splits on a single character; keeps empty pieces.
+std::vector<std::string_view> SplitString(std::string_view s, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Joins pieces with a separator.
+std::string JoinStrings(const std::vector<std::string>& pieces,
+                        std::string_view sep);
+
+/// Human-readable count, e.g. 1234567 -> "1.23M".
+std::string HumanCount(double v);
+
+}  // namespace ltree
+
+#endif  // LTREE_COMMON_STRING_UTIL_H_

@@ -1,0 +1,38 @@
+// Wall-clock timing helper for the bench harness.
+
+#ifndef LTREE_COMMON_TIMER_H_
+#define LTREE_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace ltree {
+
+/// Monotonic stopwatch; starts on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ltree
+
+#endif  // LTREE_COMMON_TIMER_H_

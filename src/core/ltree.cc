@@ -1,0 +1,488 @@
+#include "core/ltree.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/macros.h"
+#include "common/math_util.h"
+#include "common/string_util.h"
+
+namespace ltree {
+
+LTree::LTree(const Params& params, PowerTable powers)
+    : params_(params), powers_(std::move(powers)) {
+  root_ = new Node;
+  root_->height = 1;
+  root_->leaf_count = 0;
+  root_->num = 0;
+}
+
+LTree::~LTree() { DestroySubtree(root_); }
+
+Result<std::unique_ptr<LTree>> LTree::Create(const Params& params) {
+  LTREE_ASSIGN_OR_RETURN(PowerTable powers, PowerTable::Make(params));
+  return std::unique_ptr<LTree>(new LTree(params, std::move(powers)));
+}
+
+// --------------------------------------------------------------------------
+// Bulk loading (Section 2.2)
+// --------------------------------------------------------------------------
+
+Status LTree::BulkLoad(std::span<const LeafCookie> cookies,
+                       std::vector<LeafHandle>* handles) {
+  if (root_->leaf_count != 0) {
+    return Status::FailedPrecondition("BulkLoad requires an empty L-Tree");
+  }
+  const uint64_t n = cookies.size();
+  if (n == 0) return Status::OK();
+  const uint32_t h0 = std::max(1u, CeilLog(params_.d(), n));
+  if (h0 > powers_.max_height()) {
+    return Status::CapacityExceeded(
+        StrFormat("bulk load of %llu leaves needs height %u > max height %u",
+                  static_cast<unsigned long long>(n), h0,
+                  powers_.max_height()));
+  }
+  std::vector<Node*> leaves;
+  leaves.reserve(n);
+  for (LeafCookie c : cookies) {
+    Node* leaf = new Node;
+    leaf->cookie = c;
+    leaf->num = kInvalidLabel;
+    leaves.push_back(leaf);
+  }
+  DestroySubtree(root_);
+  root_ = BuildOverLeaves(std::span<Node*>(leaves), h0);
+  live_leaves_ = n;
+  // Initial label assignment is part of loading, not incremental maintenance.
+  Relabel(root_, 0, 0, /*count_stats=*/false);
+  ++stats_.bulk_loads;
+  if (handles != nullptr) {
+    handles->insert(handles->end(), leaves.begin(), leaves.end());
+  }
+  return Status::OK();
+}
+
+// --------------------------------------------------------------------------
+// Tree construction helpers
+// --------------------------------------------------------------------------
+
+Node* LTree::BuildOverLeaves(std::span<Node*> leaves, uint32_t height) {
+  LTREE_CHECK(!leaves.empty());
+  if (height == 0) {
+    LTREE_CHECK(leaves.size() == 1);
+    Node* leaf = leaves[0];
+    LTREE_CHECK(leaf->IsLeaf());
+    return leaf;
+  }
+  LTREE_CHECK(leaves.size() <= powers_.PowD(height));
+  Node* node = new Node;
+  node->height = height;
+  node->leaf_count = leaves.size();
+  const uint64_t seg_cap = powers_.PowD(height - 1);
+  const uint64_t m = CeilDiv(leaves.size(), seg_cap);
+  const uint64_t base = leaves.size() / m;
+  const uint64_t rem = leaves.size() % m;
+  node->children.reserve(m);
+  size_t offset = 0;
+  for (uint64_t i = 0; i < m; ++i) {
+    const size_t len = static_cast<size_t>(base + (i < rem ? 1 : 0));
+    Node* child = BuildOverLeaves(leaves.subspan(offset, len), height - 1);
+    child->parent = node;
+    child->index_in_parent = static_cast<uint32_t>(i);
+    node->children.push_back(child);
+    offset += len;
+  }
+  return node;
+}
+
+std::vector<Node*> LTree::BuildPieces(std::span<Node*> leaves, uint64_t pieces,
+                                      uint32_t piece_height) {
+  LTREE_CHECK(pieces >= 1);
+  LTREE_CHECK(leaves.size() >= pieces);
+  std::vector<Node*> out;
+  out.reserve(pieces);
+  const uint64_t base = leaves.size() / pieces;
+  const uint64_t rem = leaves.size() % pieces;
+  size_t offset = 0;
+  for (uint64_t i = 0; i < pieces; ++i) {
+    const size_t len = static_cast<size_t>(base + (i < rem ? 1 : 0));
+    out.push_back(BuildOverLeaves(leaves.subspan(offset, len), piece_height));
+    offset += len;
+  }
+  return out;
+}
+
+void LTree::DestroyInternalNodes(Node* n) {
+  if (n == nullptr || n->IsLeaf()) return;
+  for (Node* child : n->children) DestroyInternalNodes(child);
+  delete n;
+}
+
+void LTree::FixIndicesFrom(Node* parent, uint32_t from) {
+  for (uint32_t i = from; i < parent->children.size(); ++i) {
+    parent->children[i]->index_in_parent = i;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Incremental maintenance (Section 2.3, Algorithm 1; Section 4.1 batches)
+// --------------------------------------------------------------------------
+
+Status LTree::EnsureCapacityFor(uint64_t k) const {
+  auto l_new_opt = CheckedAdd(root_->leaf_count, k);
+  if (!l_new_opt) {
+    return Status::CapacityExceeded("leaf count would overflow uint64");
+  }
+  const uint64_t l_new = *l_new_opt;
+  for (uint32_t h = root_->height; h <= powers_.max_height(); ++h) {
+    if (l_new < powers_.LeafBudget(h) &&
+        CeilDiv(l_new, powers_.PowD(h - 1)) <= params_.f) {
+      return Status::OK();
+    }
+  }
+  return Status::CapacityExceeded(StrFormat(
+      "inserting %llu leaves (total %llu) exceeds the 64-bit label space of "
+      "%s",
+      static_cast<unsigned long long>(k),
+      static_cast<unsigned long long>(l_new), params_.ToString().c_str()));
+}
+
+Status LTree::InsertAt(Node* parent, uint32_t idx,
+                       std::span<const LeafCookie> cookies,
+                       std::vector<LeafHandle>* handles, bool is_batch) {
+  const uint64_t k = cookies.size();
+  if (k == 0) return Status::OK();
+  LTREE_CHECK(parent != nullptr);
+  LTREE_CHECK(parent->height == 1);
+  LTREE_CHECK(idx <= parent->children.size());
+  LTREE_RETURN_IF_ERROR(EnsureCapacityFor(k));
+
+  std::vector<Node*> fresh;
+  fresh.reserve(k);
+  for (LeafCookie c : cookies) {
+    Node* leaf = new Node;
+    leaf->cookie = c;
+    leaf->num = kInvalidLabel;
+    leaf->parent = parent;
+    fresh.push_back(leaf);
+  }
+  parent->children.insert(parent->children.begin() + idx, fresh.begin(),
+                          fresh.end());
+  FixIndicesFrom(parent, idx);
+
+  // Walk up: bump l(t) for every ancestor and remember the *highest* node
+  // whose subtree now exceeds its leaf budget (Algorithm 1, lines 4-10).
+  Node* v = nullptr;
+  for (Node* t = parent; t != nullptr; t = t->parent) {
+    t->leaf_count += k;
+    ++stats_.ancestor_updates;
+    if (t->leaf_count >= powers_.LeafBudget(t->height)) v = t;
+  }
+  live_leaves_ += k;
+
+  if (v == nullptr) {
+    // No split: relabel the new leaves and their right siblings
+    // (Algorithm 1, lines 12-13). Costs at most f node accesses.
+    Relabel(parent, parent->num, idx, /*count_stats=*/true);
+  } else {
+    RebuildAt(v);
+  }
+
+  if (is_batch) {
+    ++stats_.batch_inserts;
+    stats_.batch_leaves += k;
+  } else {
+    ++stats_.inserts;
+  }
+  if (handles != nullptr) {
+    handles->insert(handles->end(), fresh.begin(), fresh.end());
+  }
+  return Status::OK();
+}
+
+void LTree::RebuildAt(Node* v) {
+  for (;;) {
+    LTREE_CHECK(v != nullptr);
+    if (v == root_) {
+      RebuildRoot();
+      return;
+    }
+    Node* p = v->parent;
+    const uint32_t j = v->index_in_parent;
+    const uint32_t h = v->height;
+
+    std::vector<Node*> leaves;
+    CollectLeaves(v, &leaves);
+    const uint64_t purged = MaybePurge(&leaves);
+    DestroyInternalNodes(v);
+
+    // Section 2.3: replace v with s complete (f/s)-ary subtrees over the
+    // same leaf sequence. (For the exact single-insert trigger
+    // l(v) = s*d^h this is precisely s pieces of d^h leaves each; batches
+    // may need more pieces.)
+    const uint64_t m = CeilDiv(leaves.size(), powers_.PowD(h));
+    std::vector<Node*> pieces =
+        BuildPieces(std::span<Node*>(leaves), m, h);
+
+    auto& siblings = p->children;
+    siblings.erase(siblings.begin() + j);
+    siblings.insert(siblings.begin() + j, pieces.begin(), pieces.end());
+    for (Node* piece : pieces) piece->parent = p;
+    FixIndicesFrom(p, j);
+    if (purged > 0) {
+      for (Node* t = p; t != nullptr; t = t->parent) t->leaf_count -= purged;
+    }
+    ++stats_.splits;
+
+    // Batch insertions can momentarily push the parent past the fanout the
+    // (f+1)-ary label space supports; escalate the rebuild one level up.
+    // Single-leaf insertions never take this path (Proposition 3).
+    if (siblings.size() > static_cast<size_t>(params_.f) + 1) {
+      ++stats_.escalations;
+      v = p;
+      continue;
+    }
+
+    // Algorithm 1, line 23: relabel the replacement subtrees and v's right
+    // siblings.
+    Relabel(p, p->num, j, /*count_stats=*/true);
+    return;
+  }
+}
+
+void LTree::RebuildRoot() {
+  std::vector<Node*> leaves;
+  CollectLeaves(root_, &leaves);
+  const uint64_t purged = MaybePurge(&leaves);
+  const uint32_t old_height = root_->height;
+  DestroyInternalNodes(root_);
+  root_ = nullptr;
+  (void)purged;  // counts live in stats_.tombstones_purged
+
+  const uint64_t l = leaves.size();
+  LTREE_CHECK(l >= 1);
+  // Smallest height at which the leaf budget and the fanout both fit. A
+  // budget-triggered root split lands exactly on the paper's rule: a new
+  // root of height H+1 whose children are the s top-level subtrees.
+  uint32_t new_height = 0;
+  for (uint32_t h = old_height; h <= powers_.max_height(); ++h) {
+    if (l < powers_.LeafBudget(h) &&
+        CeilDiv(l, powers_.PowD(h - 1)) <= params_.f) {
+      new_height = h;
+      break;
+    }
+  }
+  LTREE_CHECK(new_height >= 1);  // guaranteed by EnsureCapacityFor
+
+  const uint64_t m = CeilDiv(l, powers_.PowD(new_height - 1));
+  Node* new_root = new Node;
+  new_root->height = new_height;
+  new_root->leaf_count = l;
+  std::vector<Node*> pieces =
+      BuildPieces(std::span<Node*>(leaves), m, new_height - 1);
+  new_root->children = std::move(pieces);
+  for (uint32_t i = 0; i < new_root->children.size(); ++i) {
+    new_root->children[i]->parent = new_root;
+    new_root->children[i]->index_in_parent = i;
+  }
+  root_ = new_root;
+  ++stats_.root_splits;
+  Relabel(root_, 0, 0, /*count_stats=*/true);
+}
+
+uint64_t LTree::MaybePurge(std::vector<Node*>* leaves) {
+  if (!params_.purge_tombstones_on_split) return 0;
+  uint64_t live = 0;
+  for (Node* leaf : *leaves) {
+    if (!leaf->deleted) ++live;
+  }
+  if (live == leaves->size()) return 0;
+  std::vector<Node*> kept;
+  kept.reserve(std::max<uint64_t>(live, 1));
+  if (live == 0) {
+    // Never leave a subtree empty: keep one tombstone as a placeholder.
+    kept.push_back(leaves->front());
+    for (size_t i = 1; i < leaves->size(); ++i) delete (*leaves)[i];
+  } else {
+    for (Node* leaf : *leaves) {
+      if (leaf->deleted) {
+        delete leaf;
+      } else {
+        kept.push_back(leaf);
+      }
+    }
+  }
+  const uint64_t purged = leaves->size() - kept.size();
+  stats_.tombstones_purged += purged;
+  *leaves = std::move(kept);
+  return purged;
+}
+
+// --------------------------------------------------------------------------
+// Relabeling (Algorithm 1, function Relabel)
+// --------------------------------------------------------------------------
+
+void LTree::Relabel(Node* t, Label num, uint32_t from_child,
+                    bool count_stats) {
+  if (count_stats) ++stats_.nodes_relabeled;
+  if (t->IsLeaf()) {
+    if (t->num != num) {
+      if (t->num != kInvalidLabel) {
+        if (count_stats) ++stats_.leaves_relabeled;
+        if (listener_ != nullptr) {
+          listener_->OnRelabel(t->cookie, t->num, num);
+        }
+      }
+      t->num = num;
+    }
+    return;
+  }
+  t->num = num;
+  for (uint32_t i = from_child; i < t->children.size(); ++i) {
+    Node* w = t->children[i];
+    Relabel(w, num + static_cast<uint64_t>(i) * powers_.PowF1(w->height), 0,
+            count_stats);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Public update entry points
+// --------------------------------------------------------------------------
+
+Result<LTree::LeafHandle> LTree::InsertAfter(LeafHandle pos,
+                                             LeafCookie cookie) {
+  LTREE_CHECK(pos != nullptr);
+  LTREE_CHECK(pos->IsLeaf());
+  std::vector<LeafHandle> out;
+  const LeafCookie cookies[1] = {cookie};
+  LTREE_RETURN_IF_ERROR(InsertAt(pos->parent, pos->index_in_parent + 1,
+                                 cookies, &out, /*is_batch=*/false));
+  return out[0];
+}
+
+Result<LTree::LeafHandle> LTree::InsertBefore(LeafHandle pos,
+                                              LeafCookie cookie) {
+  LTREE_CHECK(pos != nullptr);
+  LTREE_CHECK(pos->IsLeaf());
+  std::vector<LeafHandle> out;
+  const LeafCookie cookies[1] = {cookie};
+  LTREE_RETURN_IF_ERROR(InsertAt(pos->parent, pos->index_in_parent, cookies,
+                                 &out, /*is_batch=*/false));
+  return out[0];
+}
+
+Result<LTree::LeafHandle> LTree::PushBack(LeafCookie cookie) {
+  Node* last = RightmostLeaf(root_);
+  if (last == nullptr) {
+    std::vector<LeafHandle> out;
+    const LeafCookie cookies[1] = {cookie};
+    LTREE_RETURN_IF_ERROR(
+        InsertAt(root_, 0, cookies, &out, /*is_batch=*/false));
+    return out[0];
+  }
+  return InsertAfter(last, cookie);
+}
+
+Result<LTree::LeafHandle> LTree::PushFront(LeafCookie cookie) {
+  Node* first = LeftmostLeaf(root_);
+  if (first == nullptr) return PushBack(cookie);
+  return InsertBefore(first, cookie);
+}
+
+Status LTree::InsertBatchAfter(LeafHandle pos,
+                               std::span<const LeafCookie> cookies,
+                               std::vector<LeafHandle>* handles) {
+  LTREE_CHECK(pos != nullptr);
+  LTREE_CHECK(pos->IsLeaf());
+  return InsertAt(pos->parent, pos->index_in_parent + 1, cookies, handles,
+                  /*is_batch=*/true);
+}
+
+Status LTree::InsertBatchBefore(LeafHandle pos,
+                                std::span<const LeafCookie> cookies,
+                                std::vector<LeafHandle>* handles) {
+  LTREE_CHECK(pos != nullptr);
+  LTREE_CHECK(pos->IsLeaf());
+  return InsertAt(pos->parent, pos->index_in_parent, cookies, handles,
+                  /*is_batch=*/true);
+}
+
+Status LTree::PushBackBatch(std::span<const LeafCookie> cookies,
+                            std::vector<LeafHandle>* handles) {
+  Node* last = RightmostLeaf(root_);
+  if (last == nullptr) {
+    return InsertAt(root_, 0, cookies, handles, /*is_batch=*/true);
+  }
+  return InsertBatchAfter(last, cookies, handles);
+}
+
+Status LTree::MarkDeleted(LeafHandle leaf) {
+  LTREE_CHECK(leaf != nullptr);
+  LTREE_CHECK(leaf->IsLeaf());
+  if (leaf->deleted) {
+    return Status::FailedPrecondition("leaf already deleted");
+  }
+  leaf->deleted = true;
+  --live_leaves_;
+  ++stats_.deletes;
+  return Status::OK();
+}
+
+// --------------------------------------------------------------------------
+// Queries / introspection
+// --------------------------------------------------------------------------
+
+LTree::LeafHandle LTree::FirstLeaf() const { return LeftmostLeaf(root_); }
+
+LTree::LeafHandle LTree::NextLeaf(LeafHandle leaf) const {
+  return ltree::NextLeaf(leaf);
+}
+
+LTree::LeafHandle LTree::FirstLiveLeaf() const {
+  Node* leaf = LeftmostLeaf(root_);
+  while (leaf != nullptr && leaf->deleted) leaf = ltree::NextLeaf(leaf);
+  return leaf;
+}
+
+LTree::LeafHandle LTree::NextLiveLeaf(LeafHandle leaf) const {
+  Node* cur = ltree::NextLeaf(leaf);
+  while (cur != nullptr && cur->deleted) cur = ltree::NextLeaf(cur);
+  return cur;
+}
+
+uint64_t LTree::num_slots() const { return root_->leaf_count; }
+
+uint32_t LTree::height() const { return root_->height; }
+
+uint64_t LTree::label_space() const { return powers_.PowF1(root_->height); }
+
+uint32_t LTree::label_bits() const {
+  return BitWidth(label_space() - 1);
+}
+
+Label LTree::max_label() const {
+  Node* last = RightmostLeaf(root_);
+  return last == nullptr ? 0 : last->num;
+}
+
+std::vector<Label> LTree::LiveLabels() const {
+  std::vector<Label> out;
+  out.reserve(live_leaves_);
+  for (Node* leaf = LeftmostLeaf(root_); leaf != nullptr;
+       leaf = ltree::NextLeaf(leaf)) {
+    if (!leaf->deleted) out.push_back(leaf->num);
+  }
+  return out;
+}
+
+std::vector<Label> LTree::AllLabels() const {
+  std::vector<Label> out;
+  out.reserve(root_->leaf_count);
+  for (Node* leaf = LeftmostLeaf(root_); leaf != nullptr;
+       leaf = ltree::NextLeaf(leaf)) {
+    out.push_back(leaf->num);
+  }
+  return out;
+}
+
+}  // namespace ltree

@@ -1,0 +1,224 @@
+// Materialized L-Tree (the paper's primary contribution).
+//
+// An L-Tree is an ordered, balanced tree whose n leaves correspond, in
+// document order, to the begin/end tags of an XML document (Section 2). Each
+// leaf's label is the paper's num(leaf); labels are order-preserving
+// (Proposition 1) and are maintained under insertions with O(log n)
+// amortized node accesses and O(log n) bits per label (Section 3.1).
+//
+// Supported operations:
+//  * BulkLoad          — Section 2.2: complete (f/s)-ary initial build.
+//  * InsertAfter/Before — Section 2.3, Algorithm 1: single-leaf insertion;
+//    splits the highest ancestor whose subtree exceeds its leaf budget
+//    lmax(t) = s*(f/s)^{h(t)} into s complete (f/s)-ary subtrees.
+//  * InsertBatchAfter  — Section 4.1: multi-leaf (subtree) insertion with a
+//    single rebalance, lowering amortized cost roughly logarithmically in
+//    the batch size.
+//  * MarkDeleted       — Section 2.3: deletions are tombstones, no relabeling
+//    (optional purge-on-split extension via Params).
+//
+// Thread-compatibility: externally synchronized (like an STL container).
+
+#ifndef LTREE_CORE_LTREE_H_
+#define LTREE_CORE_LTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/ltree_stats.h"
+#include "core/node.h"
+#include "core/params.h"
+
+namespace ltree {
+
+/// Sentinel for "label not yet assigned".
+inline constexpr Label kInvalidLabel = ~Label{0};
+
+/// Callback fired for every existing leaf whose label changes during
+/// relabeling, so external indexes (e.g. the label column of a node table)
+/// can be kept in sync.
+class RelabelListener {
+ public:
+  virtual ~RelabelListener() = default;
+  virtual void OnRelabel(LeafCookie cookie, Label old_label,
+                         Label new_label) = 0;
+};
+
+class LTree {
+ public:
+  /// Opaque, stable reference to a leaf. Handles survive splits and
+  /// relabelings; they are invalidated only by tombstone purging (if enabled)
+  /// and by destroying the tree.
+  using LeafHandle = Node*;
+
+  /// Creates an empty L-Tree. Fails if params are invalid.
+  static Result<std::unique_ptr<LTree>> Create(const Params& params);
+
+  ~LTree();
+  LTree(const LTree&) = delete;
+  LTree& operator=(const LTree&) = delete;
+
+  // ---------------------------------------------------------------- loading
+
+  /// Builds the initial complete (f/s)-ary tree over `cookies` (Section 2.2).
+  /// Only valid on an empty tree. If `handles` is non-null it receives one
+  /// handle per cookie, in order. Bulk loading does not count toward the
+  /// incremental-maintenance statistics.
+  Status BulkLoad(std::span<const LeafCookie> cookies,
+                  std::vector<LeafHandle>* handles = nullptr);
+
+  // ---------------------------------------------------------------- updates
+
+  /// Inserts a new leaf immediately after `pos` (Algorithm 1).
+  Result<LeafHandle> InsertAfter(LeafHandle pos, LeafCookie cookie);
+
+  /// Inserts a new leaf immediately before `pos`.
+  Result<LeafHandle> InsertBefore(LeafHandle pos, LeafCookie cookie);
+
+  /// Appends a leaf after the current last leaf (works on an empty tree).
+  Result<LeafHandle> PushBack(LeafCookie cookie);
+
+  /// Prepends a leaf before the current first leaf (works on an empty tree).
+  Result<LeafHandle> PushFront(LeafCookie cookie);
+
+  /// Inserts `cookies.size()` consecutive leaves after `pos` with a single
+  /// rebalance (Section 4.1). Appends the new handles to `handles` if
+  /// non-null.
+  Status InsertBatchAfter(LeafHandle pos, std::span<const LeafCookie> cookies,
+                          std::vector<LeafHandle>* handles = nullptr);
+
+  /// Inserts consecutive leaves before `pos` (batch form of InsertBefore).
+  Status InsertBatchBefore(LeafHandle pos, std::span<const LeafCookie> cookies,
+                           std::vector<LeafHandle>* handles = nullptr);
+
+  /// Appends a batch at the end (works on an empty tree).
+  Status PushBackBatch(std::span<const LeafCookie> cookies,
+                       std::vector<LeafHandle>* handles = nullptr);
+
+  /// Tombstones a leaf (Section 2.3): the label slot stays occupied, no
+  /// relabeling happens. Fails with FailedPrecondition if already deleted.
+  Status MarkDeleted(LeafHandle leaf);
+
+  // ---------------------------------------------------------------- queries
+
+  /// The leaf's current label. O(1); Proposition 1: document order of two
+  /// tags is exactly the numeric order of their labels.
+  Label label(LeafHandle leaf) const { return leaf->num; }
+
+  LeafCookie cookie(LeafHandle leaf) const { return leaf->cookie; }
+  bool deleted(LeafHandle leaf) const { return leaf->deleted; }
+
+  /// Leftmost leaf (including tombstones), or nullptr if empty.
+  LeafHandle FirstLeaf() const;
+  /// Successor in label order (including tombstones), or nullptr.
+  LeafHandle NextLeaf(LeafHandle leaf) const;
+  /// First non-deleted leaf, or nullptr.
+  LeafHandle FirstLiveLeaf() const;
+  /// Next non-deleted leaf, or nullptr.
+  LeafHandle NextLiveLeaf(LeafHandle leaf) const;
+
+  /// Number of leaf slots (live + tombstoned).
+  uint64_t num_slots() const;
+  /// Number of live (non-deleted) leaves.
+  uint64_t num_live_leaves() const { return live_leaves_; }
+
+  /// Current height H of the tree (>= 1).
+  uint32_t height() const;
+
+  /// Size of the current label space, (f+1)^H. All labels are < this.
+  uint64_t label_space() const;
+
+  /// Bits needed to encode any label the current tree can produce.
+  uint32_t label_bits() const;
+
+  /// Largest label currently assigned (0 if empty).
+  Label max_label() const;
+
+  const Params& params() const { return params_; }
+  const PowerTable& powers() const { return powers_; }
+  const LTreeStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = LTreeStats(); }
+
+  /// Receives label-change notifications; may be nullptr.
+  void set_listener(RelabelListener* listener) { listener_ = listener; }
+
+  /// Labels of live leaves, in document order.
+  std::vector<Label> LiveLabels() const;
+  /// Labels of all leaf slots (including tombstones), in document order.
+  std::vector<Label> AllLabels() const;
+
+  /// Root node, exposed for the invariant checker / tests / debug dumper.
+  const Node* root() const { return root_; }
+
+  /// Verifies the structural invariants of Proposition 2 plus label
+  /// consistency:
+  ///  * all leaves at the same depth; height bookkeeping consistent;
+  ///  * leaf_count(t) equals the actual number of leaf slots and is strictly
+  ///    below the budget lmax(t) = s*(f/s)^{h(t)};
+  ///  * fanout within [1, f+1];
+  ///  * num(w) = num(parent) + index(w) * (f+1)^{h(w)} for every node, hence
+  ///    labels strictly increase in document order (Proposition 1).
+  Status CheckInvariants() const;
+
+  /// Multi-line structural dump (for examples and debugging).
+  std::string DebugString(bool show_internal = true) const;
+
+ private:
+  explicit LTree(const Params& params, PowerTable powers);
+
+  /// Inserts `cookies` as children of `parent` (height-1 node) starting at
+  /// child index `idx`, then runs the Algorithm 1 maintenance loop.
+  Status InsertAt(Node* parent, uint32_t idx,
+                  std::span<const LeafCookie> cookies,
+                  std::vector<LeafHandle>* handles, bool is_batch);
+
+  /// Fails with CapacityExceeded if adding `k` leaves could require a root
+  /// rebuild beyond the 64-bit label space.
+  Status EnsureCapacityFor(uint64_t k) const;
+
+  /// Splits/rebuilds the subtree at violator `v` (Section 2.3); handles
+  /// root growth and fanout-overflow escalation for batches.
+  void RebuildAt(Node* v);
+
+  /// Rebuilds the root, growing the height (root split of Algorithm 1).
+  void RebuildRoot();
+
+  /// Builds a (f/s)-ary tree of exactly `height` over `leaves` (reusing the
+  /// leaf nodes). leaves.size() must be in [1, d^height].
+  Node* BuildOverLeaves(std::span<Node*> leaves, uint32_t height);
+
+  /// Splits `leaves` into `pieces` even segments and builds one subtree of
+  /// height `piece_height` per segment.
+  std::vector<Node*> BuildPieces(std::span<Node*> leaves, uint64_t pieces,
+                                 uint32_t piece_height);
+
+  /// Paper's Relabel(t, num, from): assigns num(t) and recursively relabels
+  /// children starting at `from_child`.
+  void Relabel(Node* t, Label num, uint32_t from_child, bool count_stats);
+
+  /// Removes tombstoned leaves from `leaves` (if purging is enabled),
+  /// deleting the nodes and reporting how many were dropped. Always keeps at
+  /// least one leaf so subtrees never become empty.
+  uint64_t MaybePurge(std::vector<Node*>* leaves);
+
+  /// Deletes the internal nodes of the subtree rooted at `n`, leaving leaf
+  /// nodes alive (they are reused by rebuilds).
+  static void DestroyInternalNodes(Node* n);
+
+  static void FixIndicesFrom(Node* parent, uint32_t from);
+
+  Params params_;
+  PowerTable powers_;
+  Node* root_ = nullptr;
+  uint64_t live_leaves_ = 0;
+  LTreeStats stats_;
+  RelabelListener* listener_ = nullptr;
+};
+
+}  // namespace ltree
+
+#endif  // LTREE_CORE_LTREE_H_

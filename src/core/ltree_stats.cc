@@ -1,0 +1,26 @@
+#include "core/ltree_stats.h"
+
+#include "common/string_util.h"
+
+namespace ltree {
+
+std::string LTreeStats::ToString() const {
+  return StrFormat(
+      "LTreeStats{inserts=%llu batch_leaves=%llu deletes=%llu splits=%llu "
+      "root_splits=%llu escalations=%llu ancestor_updates=%llu "
+      "nodes_relabeled=%llu leaves_relabeled=%llu purged=%llu "
+      "amortized_cost=%.3f}",
+      static_cast<unsigned long long>(inserts),
+      static_cast<unsigned long long>(batch_leaves),
+      static_cast<unsigned long long>(deletes),
+      static_cast<unsigned long long>(splits),
+      static_cast<unsigned long long>(root_splits),
+      static_cast<unsigned long long>(escalations),
+      static_cast<unsigned long long>(ancestor_updates),
+      static_cast<unsigned long long>(nodes_relabeled),
+      static_cast<unsigned long long>(leaves_relabeled),
+      static_cast<unsigned long long>(tombstones_purged),
+      AmortizedCostPerInsert());
+}
+
+}  // namespace ltree

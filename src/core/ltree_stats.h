@@ -1,0 +1,50 @@
+// Operation counters matching the paper's cost accounting (Section 3.1):
+// the cost of an insertion = ancestor count updates (height of the tree)
+// plus the number of nodes visited while relabeling.
+
+#ifndef LTREE_CORE_LTREE_STATS_H_
+#define LTREE_CORE_LTREE_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ltree {
+
+struct LTreeStats {
+  // ---- operations ----
+  uint64_t inserts = 0;        ///< single-leaf insertions
+  uint64_t batch_inserts = 0;  ///< InsertBatchAfter calls
+  uint64_t batch_leaves = 0;   ///< leaves inserted via batches
+  uint64_t deletes = 0;        ///< MarkDeleted calls
+  uint64_t bulk_loads = 0;
+
+  // ---- structural events ----
+  uint64_t splits = 0;            ///< non-root subtree rebuilds
+  uint64_t root_splits = 0;       ///< height-increasing rebuilds
+  uint64_t escalations = 0;       ///< fanout-overflow escalations (batch only)
+  uint64_t tombstones_purged = 0;
+
+  // ---- the paper's cost metric ----
+  /// Ancestor leaf_count updates (the `h` term of the cost formula).
+  uint64_t ancestor_updates = 0;
+  /// Nodes visited by Relabel() (the `f` + split-relabel terms).
+  uint64_t nodes_relabeled = 0;
+  /// Leaves whose label actually changed (excludes the freshly inserted ones).
+  uint64_t leaves_relabeled = 0;
+
+  /// Total node accesses charged by the paper's accounting.
+  uint64_t NodeAccesses() const { return ancestor_updates + nodes_relabeled; }
+
+  /// NodeAccesses() / single-leaf-equivalent insert count.
+  double AmortizedCostPerInsert() const {
+    uint64_t n = inserts + batch_leaves;
+    return n == 0 ? 0.0
+                  : static_cast<double>(NodeAccesses()) / static_cast<double>(n);
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace ltree
+
+#endif  // LTREE_CORE_LTREE_STATS_H_

@@ -1,0 +1,58 @@
+#include "core/node.h"
+
+namespace ltree {
+
+void DestroySubtree(Node* node) {
+  if (node == nullptr) return;
+  for (Node* child : node->children) DestroySubtree(child);
+  delete node;
+}
+
+Node* LeftmostLeaf(Node* node) {
+  while (node != nullptr && !node->IsLeaf()) {
+    if (node->children.empty()) return nullptr;
+    node = node->children.front();
+  }
+  return node;
+}
+
+Node* RightmostLeaf(Node* node) {
+  while (node != nullptr && !node->IsLeaf()) {
+    if (node->children.empty()) return nullptr;
+    node = node->children.back();
+  }
+  return node;
+}
+
+Node* NextLeaf(Node* leaf) {
+  Node* cur = leaf;
+  // Climb until cur has a right sibling.
+  while (cur->parent != nullptr &&
+         cur->index_in_parent + 1 == cur->parent->children.size()) {
+    cur = cur->parent;
+  }
+  if (cur->parent == nullptr) return nullptr;
+  Node* sib = cur->parent->children[cur->index_in_parent + 1];
+  return LeftmostLeaf(sib);
+}
+
+Node* PrevLeaf(Node* leaf) {
+  Node* cur = leaf;
+  while (cur->parent != nullptr && cur->index_in_parent == 0) {
+    cur = cur->parent;
+  }
+  if (cur->parent == nullptr) return nullptr;
+  Node* sib = cur->parent->children[cur->index_in_parent - 1];
+  return RightmostLeaf(sib);
+}
+
+void CollectLeaves(Node* node, std::vector<Node*>* out) {
+  if (node == nullptr) return;
+  if (node->IsLeaf()) {
+    out->push_back(node);
+    return;
+  }
+  for (Node* child : node->children) CollectLeaves(child, out);
+}
+
+}  // namespace ltree

@@ -1,0 +1,61 @@
+// Internal node representation of the materialized L-Tree.
+//
+// Exposed in a header (rather than hidden in ltree.cc) so that the invariant
+// checker, the test suite and the debug dumper can walk the raw structure;
+// library users should treat LeafHandle as opaque.
+
+#ifndef LTREE_CORE_NODE_H_
+#define LTREE_CORE_NODE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/params.h"
+
+namespace ltree {
+
+/// One L-Tree node. Leaves have height 0, no children, and carry the client
+/// cookie; internal nodes aggregate `leaf_count` (the paper's l(t), counting
+/// tombstoned leaves too, since a tombstone still occupies a label slot).
+struct Node {
+  Node* parent = nullptr;
+  std::vector<Node*> children;  ///< empty iff leaf
+
+  /// The paper's num(t): smallest label of the node's interval.
+  Label num = 0;
+  /// l(t): number of leaf slots in this subtree (1 for a leaf).
+  uint64_t leaf_count = 1;
+  /// h(t): edges to the leaf level; 0 for leaves.
+  uint32_t height = 0;
+  /// Position within parent->children; maintained on every mutation.
+  uint32_t index_in_parent = 0;
+
+  /// Client payload (leaves only).
+  LeafCookie cookie = 0;
+  /// Tombstone flag (leaves only). Section 2.3: deletions only mark.
+  bool deleted = false;
+
+  bool IsLeaf() const { return height == 0; }
+};
+
+/// Recursively frees `node` and its subtree.
+void DestroySubtree(Node* node);
+
+/// First (leftmost) leaf under `node`, or nullptr for a childless subtree.
+Node* LeftmostLeaf(Node* node);
+
+/// Last (rightmost) leaf under `node`, or nullptr.
+Node* RightmostLeaf(Node* node);
+
+/// In-order successor leaf (including tombstoned leaves), or nullptr.
+Node* NextLeaf(Node* leaf);
+
+/// In-order predecessor leaf, or nullptr.
+Node* PrevLeaf(Node* leaf);
+
+/// Appends all leaves under `node` to `out` in document order.
+void CollectLeaves(Node* node, std::vector<Node*>* out);
+
+}  // namespace ltree
+
+#endif  // LTREE_CORE_NODE_H_

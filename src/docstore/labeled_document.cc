@@ -1,0 +1,378 @@
+#include "docstore/labeled_document.h"
+
+#include <vector>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace ltree {
+namespace docstore {
+
+namespace {
+
+int32_t DepthOf(const xml::Node* node) {
+  int32_t depth = 0;
+  for (const xml::Node* p = node->parent; p != nullptr; p = p->parent) {
+    ++depth;
+  }
+  return depth;
+}
+
+}  // namespace
+
+LabeledDocument::LabeledDocument(xml::Document doc,
+                                 std::unique_ptr<LTree> tree)
+    : doc_(std::move(doc)), tree_(std::move(tree)) {
+  tree_->set_listener(this);
+}
+
+LabeledDocument::~LabeledDocument() { tree_->set_listener(nullptr); }
+
+Result<std::unique_ptr<LabeledDocument>> LabeledDocument::FromXml(
+    std::string_view xml_text, const Params& params) {
+  LTREE_ASSIGN_OR_RETURN(xml::Document doc, xml::Parse(xml_text));
+  return FromDocument(std::move(doc), params);
+}
+
+Result<std::unique_ptr<LabeledDocument>> LabeledDocument::FromDocument(
+    xml::Document doc, const Params& params) {
+  if (doc.root() == nullptr) {
+    return Status::InvalidArgument("document has no root element");
+  }
+  LTREE_ASSIGN_OR_RETURN(std::unique_ptr<LTree> tree, LTree::Create(params));
+  auto store = std::unique_ptr<LabeledDocument>(
+      new LabeledDocument(std::move(doc), std::move(tree)));
+  LTREE_RETURN_IF_ERROR(store->BulkLoadFromDocument());
+  return store;
+}
+
+Status LabeledDocument::BulkLoadFromDocument() {
+  const std::vector<xml::TagEntry> stream = doc_.TagStream();
+  std::vector<LeafCookie> cookies;
+  cookies.reserve(stream.size());
+  for (const xml::TagEntry& entry : stream) {
+    cookies.push_back(entry.kind == xml::TagEntry::Kind::kEnd
+                          ? EndCookie(entry.node->id)
+                          : BeginCookie(entry.node->id));
+  }
+  std::vector<LTree::LeafHandle> handles;
+  LTREE_RETURN_IF_ERROR(tree_->BulkLoad(cookies, &handles));
+
+  for (size_t i = 0; i < stream.size(); ++i) {
+    const xml::TagEntry& entry = stream[i];
+    LeafPair& pair = leaves_[entry.node->id];
+    if (entry.kind == xml::TagEntry::Kind::kEnd) {
+      pair.end = handles[i];
+    } else {
+      pair.begin = handles[i];
+    }
+  }
+  for (const xml::TagEntry& entry : stream) {
+    if (entry.kind != xml::TagEntry::Kind::kBegin) continue;
+    LTREE_RETURN_IF_ERROR(
+        RegisterNode(entry.node, leaves_[entry.node->id]));
+  }
+  return table_.Finalize();
+}
+
+Status LabeledDocument::RegisterNode(const xml::Node* node, LeafPair leaves) {
+  if (!node->IsElement()) return Status::OK();  // text: leaves only
+  query::NodeRow row;
+  row.id = node->id;
+  row.tag = node->tag;
+  row.region = {tree_->label(leaves.begin), tree_->label(leaves.end)};
+  row.level = DepthOf(node);
+  row.parent_id = node->parent == nullptr ? 0 : node->parent->id;
+  row.is_text = false;
+  return table_.Insert(std::move(row));
+}
+
+void LabeledDocument::OnRelabel(LeafCookie cookie, Label old_label,
+                                Label new_label) {
+  (void)old_label;
+  const xml::NodeId id = cookie >> 1;
+  const bool is_end = (cookie & 1) != 0;
+  // Text nodes have no table row; ignore the NotFound.
+  Status st = is_end ? table_.UpdateEnd(id, new_label)
+                     : table_.UpdateStart(id, new_label);
+  (void)st;
+}
+
+// ---------------------------------------------------------------------------
+// Updates
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Resolves the insertion anchor inside `parent`:
+///  - returns the node to insert after (nullptr = append as last child).
+Result<xml::Node*> ResolveSibling(xml::Node* parent, xml::NodeId after) {
+  if (after == 0) return static_cast<xml::Node*>(nullptr);
+  for (xml::Node* c = parent->first_child; c != nullptr;
+       c = c->next_sibling) {
+    if (c->id == after) return c;
+  }
+  return Status::NotFound("after_sibling is not a child of parent");
+}
+
+}  // namespace
+
+Result<xml::NodeId> LabeledDocument::InsertElement(xml::NodeId parent_id,
+                                                   xml::NodeId after_sibling,
+                                                   std::string tag) {
+  auto pit = leaves_.find(parent_id);
+  if (pit == leaves_.end() || pit->second.end == nullptr) {
+    return Status::NotFound("parent is not a live element");
+  }
+  xml::Node* parent = doc_.FindById(parent_id);
+  LTREE_CHECK(parent != nullptr);
+  LTREE_ASSIGN_OR_RETURN(xml::Node * sibling,
+                         ResolveSibling(parent, after_sibling));
+
+  xml::Node* fresh = doc_.CreateElement(std::move(tag));
+  Status attach = sibling == nullptr
+                      ? doc_.AppendChild(parent, fresh)
+                      : doc_.InsertAfter(parent, sibling, fresh);
+  LTREE_RETURN_IF_ERROR(attach);
+
+  const LeafCookie cookies[2] = {BeginCookie(fresh->id), EndCookie(fresh->id)};
+  std::vector<LTree::LeafHandle> handles;
+  Status st;
+  if (sibling == nullptr) {
+    st = tree_->InsertBatchBefore(pit->second.end, cookies, &handles);
+  } else {
+    const LeafPair& sib = leaves_.at(sibling->id);
+    LTree::LeafHandle anchor = sib.end != nullptr ? sib.end : sib.begin;
+    st = tree_->InsertBatchAfter(anchor, cookies, &handles);
+  }
+  if (!st.ok()) {
+    LTREE_CHECK_OK(doc_.Remove(fresh));
+    return st;
+  }
+  LeafPair pair{handles[0], handles[1]};
+  leaves_[fresh->id] = pair;
+  LTREE_RETURN_IF_ERROR(RegisterNode(fresh, pair));
+  return fresh->id;
+}
+
+Result<xml::NodeId> LabeledDocument::InsertText(xml::NodeId parent_id,
+                                                xml::NodeId after_sibling,
+                                                std::string text) {
+  auto pit = leaves_.find(parent_id);
+  if (pit == leaves_.end() || pit->second.end == nullptr) {
+    return Status::NotFound("parent is not a live element");
+  }
+  xml::Node* parent = doc_.FindById(parent_id);
+  LTREE_CHECK(parent != nullptr);
+  LTREE_ASSIGN_OR_RETURN(xml::Node * sibling,
+                         ResolveSibling(parent, after_sibling));
+
+  xml::Node* fresh = doc_.CreateText(std::move(text));
+  Status attach = sibling == nullptr
+                      ? doc_.AppendChild(parent, fresh)
+                      : doc_.InsertAfter(parent, sibling, fresh);
+  LTREE_RETURN_IF_ERROR(attach);
+
+  const LeafCookie cookies[1] = {BeginCookie(fresh->id)};
+  std::vector<LTree::LeafHandle> handles;
+  Status st;
+  if (sibling == nullptr) {
+    st = tree_->InsertBatchBefore(pit->second.end, cookies, &handles);
+  } else {
+    const LeafPair& sib = leaves_.at(sibling->id);
+    LTree::LeafHandle anchor = sib.end != nullptr ? sib.end : sib.begin;
+    st = tree_->InsertBatchAfter(anchor, cookies, &handles);
+  }
+  if (!st.ok()) {
+    LTREE_CHECK_OK(doc_.Remove(fresh));
+    return st;
+  }
+  leaves_[fresh->id] = LeafPair{handles[0], nullptr};
+  return fresh->id;
+}
+
+xml::Node* LabeledDocument::CopySubtree(const xml::Node* src,
+                                        xml::Node* parent) {
+  xml::Node* clone = src->IsElement() ? doc_.CreateElement(src->tag)
+                                      : doc_.CreateText(src->text);
+  clone->attrs = src->attrs;
+  if (parent != nullptr) {
+    LTREE_CHECK_OK(doc_.AppendChild(parent, clone));
+  }
+  for (const xml::Node* c = src->first_child; c != nullptr;
+       c = c->next_sibling) {
+    CopySubtree(c, clone);
+  }
+  return clone;
+}
+
+Result<xml::NodeId> LabeledDocument::InsertFragment(xml::NodeId parent_id,
+                                                    xml::NodeId after_sibling,
+                                                    std::string_view fragment) {
+  auto pit = leaves_.find(parent_id);
+  if (pit == leaves_.end() || pit->second.end == nullptr) {
+    return Status::NotFound("parent is not a live element");
+  }
+  LTREE_ASSIGN_OR_RETURN(xml::Document frag, xml::Parse(fragment));
+  xml::Node* parent = doc_.FindById(parent_id);
+  LTREE_CHECK(parent != nullptr);
+  LTREE_ASSIGN_OR_RETURN(xml::Node * sibling,
+                         ResolveSibling(parent, after_sibling));
+
+  // Clone the fragment into this document and attach it.
+  xml::Node* clone_root = CopySubtree(frag.root(), nullptr);
+  Status attach = sibling == nullptr
+                      ? doc_.AppendChild(parent, clone_root)
+                      : doc_.InsertAfter(parent, sibling, clone_root);
+  LTREE_RETURN_IF_ERROR(attach);
+
+  // Tag stream of the clone, in order, as one leaf batch (Section 4.1).
+  std::vector<xml::TagEntry> stream;
+  {
+    std::vector<const xml::Node*> stack{clone_root};
+    // Reuse Document::TagStream logic via a local recursion.
+    struct Walker {
+      static void Walk(const xml::Node* n, std::vector<xml::TagEntry>* out) {
+        if (n->IsText()) {
+          out->push_back({xml::TagEntry::Kind::kText, n});
+          return;
+        }
+        out->push_back({xml::TagEntry::Kind::kBegin, n});
+        for (const xml::Node* c = n->first_child; c != nullptr;
+             c = c->next_sibling) {
+          Walk(c, out);
+        }
+        out->push_back({xml::TagEntry::Kind::kEnd, n});
+      }
+    };
+    Walker::Walk(clone_root, &stream);
+  }
+  std::vector<LeafCookie> cookies;
+  cookies.reserve(stream.size());
+  for (const xml::TagEntry& entry : stream) {
+    cookies.push_back(entry.kind == xml::TagEntry::Kind::kEnd
+                          ? EndCookie(entry.node->id)
+                          : BeginCookie(entry.node->id));
+  }
+
+  std::vector<LTree::LeafHandle> handles;
+  Status st;
+  if (sibling == nullptr) {
+    st = tree_->InsertBatchBefore(pit->second.end, cookies, &handles);
+  } else {
+    const LeafPair& sib = leaves_.at(sibling->id);
+    LTree::LeafHandle anchor = sib.end != nullptr ? sib.end : sib.begin;
+    st = tree_->InsertBatchAfter(anchor, cookies, &handles);
+  }
+  if (!st.ok()) {
+    LTREE_CHECK_OK(doc_.Remove(clone_root));
+    return st;
+  }
+
+  for (size_t i = 0; i < stream.size(); ++i) {
+    LeafPair& pair = leaves_[stream[i].node->id];
+    if (stream[i].kind == xml::TagEntry::Kind::kEnd) {
+      pair.end = handles[i];
+    } else {
+      pair.begin = handles[i];
+    }
+  }
+  for (const xml::TagEntry& entry : stream) {
+    if (entry.kind != xml::TagEntry::Kind::kBegin) continue;
+    LTREE_RETURN_IF_ERROR(RegisterNode(entry.node, leaves_[entry.node->id]));
+  }
+  return clone_root->id;
+}
+
+Status LabeledDocument::DeleteSubtree(xml::NodeId node_id) {
+  auto it = leaves_.find(node_id);
+  if (it == leaves_.end()) return Status::NotFound("unknown node id");
+  xml::Node* node = doc_.FindById(node_id);
+  if (node == nullptr) return Status::NotFound("node not attached");
+
+  // Collect the subtree in document order.
+  std::vector<const xml::Node*> subtree;
+  std::vector<const xml::Node*> stack{node};
+  while (!stack.empty()) {
+    const xml::Node* n = stack.back();
+    stack.pop_back();
+    subtree.push_back(n);
+    for (const xml::Node* c = n->first_child; c != nullptr;
+         c = c->next_sibling) {
+      stack.push_back(c);
+    }
+  }
+  for (const xml::Node* n : subtree) {
+    const LeafPair pair = leaves_.at(n->id);
+    LTREE_RETURN_IF_ERROR(tree_->MarkDeleted(pair.begin));
+    if (pair.end != nullptr) {
+      LTREE_RETURN_IF_ERROR(tree_->MarkDeleted(pair.end));
+    }
+    if (n->IsElement()) {
+      LTREE_RETURN_IF_ERROR(table_.Erase(n->id));
+    }
+    leaves_.erase(n->id);
+  }
+  return doc_.Remove(node);
+}
+
+// ---------------------------------------------------------------------------
+// Queries / checks
+// ---------------------------------------------------------------------------
+
+Result<query::Region> LabeledDocument::GetRegion(xml::NodeId node_id) const {
+  auto it = leaves_.find(node_id);
+  if (it == leaves_.end()) return Status::NotFound("unknown node id");
+  const Label start = tree_->label(it->second.begin);
+  const Label end = it->second.end != nullptr ? tree_->label(it->second.end)
+                                              : start;
+  return query::Region{start, end};
+}
+
+Result<bool> LabeledDocument::IsAncestor(xml::NodeId ancestor,
+                                         xml::NodeId descendant) const {
+  LTREE_ASSIGN_OR_RETURN(query::Region a, GetRegion(ancestor));
+  LTREE_ASSIGN_OR_RETURN(query::Region d, GetRegion(descendant));
+  return a.Contains(d);
+}
+
+Status LabeledDocument::CheckConsistency() const {
+  LTREE_RETURN_IF_ERROR(tree_->CheckInvariants());
+  LTREE_RETURN_IF_ERROR(table_.CheckInvariants());
+  LTREE_RETURN_IF_ERROR(doc_.CheckInvariants());
+  // The labels read through the handles must be strictly increasing along
+  // the current tag stream, and table regions must match them.
+  Label prev = 0;
+  bool first = true;
+  for (const xml::TagEntry& entry : doc_.TagStream()) {
+    auto it = leaves_.find(entry.node->id);
+    if (it == leaves_.end()) {
+      return Status::Corruption("attached node missing from the leaf map");
+    }
+    const LTree::LeafHandle h = entry.kind == xml::TagEntry::Kind::kEnd
+                                    ? it->second.end
+                                    : it->second.begin;
+    if (h == nullptr) return Status::Corruption("missing leaf handle");
+    const Label label = tree_->label(h);
+    if (!first && label <= prev) {
+      return Status::Corruption("tag-stream labels not increasing");
+    }
+    prev = label;
+    first = false;
+    if (entry.kind == xml::TagEntry::Kind::kBegin &&
+        entry.node->IsElement()) {
+      LTREE_ASSIGN_OR_RETURN(const query::NodeRow* row,
+                             table_.Find(entry.node->id));
+      if (row->region.start != tree_->label(it->second.begin) ||
+          row->region.end != tree_->label(it->second.end)) {
+        return Status::Corruption(StrFormat(
+            "table region stale for node %llu",
+            static_cast<unsigned long long>(entry.node->id)));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace docstore
+}  // namespace ltree

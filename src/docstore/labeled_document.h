@@ -1,0 +1,121 @@
+// LabeledDocument: the end-to-end system of the paper.
+//
+// Binds an ordered XML document to an L-Tree over its tag stream (begin
+// tag, end tag and text-section leaves, Section 2) and maintains a
+// relational NodeTable whose (start, end) interval labels stay valid across
+// edits: the L-Tree's relabel notifications are applied to the table in
+// place, so query plans built on label comparisons keep working without any
+// re-indexing — the paper's core selling point.
+//
+// Element updates:
+//   * InsertElement        — single new element (two leaf insertions);
+//   * InsertFragment*      — a parsed subtree, inserted as one leaf batch
+//     (the Section 4.1 bulk insertion);
+//   * DeleteSubtree        — tombstones the leaves (Section 2.3) and drops
+//     the rows.
+
+#ifndef LTREE_DOCSTORE_LABELED_DOCUMENT_H_
+#define LTREE_DOCSTORE_LABELED_DOCUMENT_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "core/ltree.h"
+#include "query/node_table.h"
+#include "xml/parser.h"
+#include "xml/xml_node.h"
+
+namespace ltree {
+namespace docstore {
+
+class LabeledDocument : private RelabelListener {
+ public:
+  /// Builds the store from parsed XML text (bulk load, Section 2.2).
+  static Result<std::unique_ptr<LabeledDocument>> FromXml(
+      std::string_view xml_text, const Params& params);
+
+  /// Builds the store from an existing document (takes ownership).
+  static Result<std::unique_ptr<LabeledDocument>> FromDocument(
+      xml::Document doc, const Params& params);
+
+  ~LabeledDocument() override;
+
+  // ---------------------------------------------------------------- updates
+
+  /// Inserts a new childless element under `parent_id`. If `after_sibling`
+  /// is non-zero the new element goes right after that child; otherwise it
+  /// becomes the last child. Returns the new element's node id.
+  Result<xml::NodeId> InsertElement(xml::NodeId parent_id,
+                                    xml::NodeId after_sibling,
+                                    std::string tag);
+
+  /// Inserts a new text node (single tag-stream leaf) under `parent_id`.
+  Result<xml::NodeId> InsertText(xml::NodeId parent_id,
+                                 xml::NodeId after_sibling, std::string text);
+
+  /// Parses `fragment` and inserts the whole subtree right after
+  /// `after_sibling` (a child of `parent_id`), or as the last child when
+  /// `after_sibling` is 0. All leaves enter the L-Tree as one batch
+  /// (Section 4.1). Returns the fragment root's node id.
+  Result<xml::NodeId> InsertFragment(xml::NodeId parent_id,
+                                     xml::NodeId after_sibling,
+                                     std::string_view fragment);
+
+  /// Removes the subtree rooted at `node_id`: its leaves are tombstoned in
+  /// the L-Tree (no relabeling, Section 2.3), its rows leave the table, and
+  /// the DOM subtree is destroyed.
+  Status DeleteSubtree(xml::NodeId node_id);
+
+  // ---------------------------------------------------------------- queries
+
+  /// The current (start, end) interval label of a node.
+  Result<query::Region> GetRegion(xml::NodeId node_id) const;
+
+  /// True iff `ancestor` is a proper ancestor of `descendant`, decided
+  /// purely by label comparison (Proposition 1 / Section 1).
+  Result<bool> IsAncestor(xml::NodeId ancestor, xml::NodeId descendant) const;
+
+  const query::NodeTable& table() const { return table_; }
+  const xml::Document& document() const { return doc_; }
+  LTree& ltree() { return *tree_; }
+  const LTree& ltree() const { return *tree_; }
+
+  /// Cross-checks DOM order/ancestry against table regions and L-Tree
+  /// labels.
+  Status CheckConsistency() const;
+
+ private:
+  struct LeafPair {
+    LTree::LeafHandle begin = nullptr;
+    LTree::LeafHandle end = nullptr;  ///< null for text nodes
+  };
+
+  LabeledDocument(xml::Document doc, std::unique_ptr<LTree> tree);
+
+  void OnRelabel(LeafCookie cookie, Label old_label, Label new_label) override;
+
+  Status BulkLoadFromDocument();
+
+  /// Registers a freshly labeled node in the handle map and node table.
+  Status RegisterNode(const xml::Node* node, LeafPair leaves);
+
+  /// Recursively copies `src` (from another document) under `parent`,
+  /// appending to `cookies`/`nodes` in tag-stream order.
+  xml::Node* CopySubtree(const xml::Node* src, xml::Node* parent);
+
+  static LeafCookie BeginCookie(xml::NodeId id) { return id << 1; }
+  static LeafCookie EndCookie(xml::NodeId id) { return (id << 1) | 1; }
+
+  xml::Document doc_;
+  std::unique_ptr<LTree> tree_;
+  query::NodeTable table_;
+  std::unordered_map<xml::NodeId, LeafPair> leaves_;
+};
+
+}  // namespace docstore
+}  // namespace ltree
+
+#endif  // LTREE_DOCSTORE_LABELED_DOCUMENT_H_

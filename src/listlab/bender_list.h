@@ -1,0 +1,63 @@
+// BenderList: density-scaled order maintenance in the spirit of the
+// ordered-list labeling literature the paper builds on ([8] Dietz, [9]
+// Dietz & Sleator, [16] Tsakalidis; the aligned-window formulation follows
+// Bender et al.'s simplified tag-range relabeling).
+//
+// Labels live in [0, 2^u). An insertion takes the midpoint of its gap; when
+// the gap is empty, the smallest enclosing *aligned* label window whose
+// density is below a depth-scaled threshold is evenly redistributed. The
+// threshold interpolates from ~1 at single labels to `root_density` at the
+// whole universe, giving O(log^2 n) amortized relabels with O(log n)-bit
+// labels — the strongest classical baseline for the paper's E5 comparison.
+
+#ifndef LTREE_LISTLAB_BENDER_LIST_H_
+#define LTREE_LISTLAB_BENDER_LIST_H_
+
+#include "listlab/linked_list_base.h"
+
+namespace ltree {
+namespace listlab {
+
+/// Tuning knobs for BenderList.
+struct BenderOptions {
+  /// Initial universe bits; the universe doubles when it gets too dense.
+  uint32_t initial_bits = 16;
+  /// Density allowed at the root window; leaves allow ~1.0.
+  double root_density = 0.5;
+};
+
+class BenderList : public LinkedListScheme {
+ public:
+  using Options = BenderOptions;
+
+  explicit BenderList(Options options = Options());
+
+  std::string name() const override;
+
+  uint32_t universe_bits() const { return bits_; }
+
+ protected:
+  Status AssignInitialLabels(uint64_t n) override;
+  Status PlaceItem(ListItem* item) override;
+  uint64_t LabelUniverse() const override { return uint64_t{1} << bits_; }
+
+ private:
+  /// Density threshold for a window of 2^k labels.
+  double ThresholdFor(uint32_t k) const;
+
+  /// Spreads `count` items starting at `first` evenly over
+  /// [base, base + width); counts label changes (excluding `fresh`).
+  void Redistribute(ListItem* first, uint64_t count, Label base,
+                    uint64_t width, const ListItem* fresh);
+
+  /// Grows the universe and renumbers everything evenly.
+  Status GrowUniverse(const ListItem* fresh);
+
+  Options options_;
+  uint32_t bits_;
+};
+
+}  // namespace listlab
+}  // namespace ltree
+
+#endif  // LTREE_LISTLAB_BENDER_LIST_H_

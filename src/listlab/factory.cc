@@ -1,0 +1,62 @@
+#include "listlab/factory.h"
+
+#include <cstdlib>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "listlab/bender_list.h"
+#include "listlab/gap_list.h"
+#include "listlab/ltree_adapters.h"
+#include "listlab/sequential_list.h"
+
+namespace ltree {
+namespace listlab {
+
+Result<std::unique_ptr<OrderMaintainer>> MakeMaintainer(
+    const std::string& spec) {
+  const auto parts = SplitString(spec, ':');
+  const std::string_view kind = parts[0];
+  if (kind == "sequential") {
+    return std::unique_ptr<OrderMaintainer>(new SequentialList);
+  }
+  if (kind == "gap") {
+    if (parts.size() != 2) {
+      return Status::InvalidArgument("usage: gap:<G>");
+    }
+    const uint64_t g = std::strtoull(std::string(parts[1]).c_str(), nullptr, 10);
+    if (g < 2) return Status::InvalidArgument("gap must be >= 2");
+    return std::unique_ptr<OrderMaintainer>(new GapList(g));
+  }
+  if (kind == "bender") {
+    BenderList::Options opts;
+    if (parts.size() == 2) {
+      opts.root_density = std::strtod(std::string(parts[1]).c_str(), nullptr);
+      if (opts.root_density <= 0.0 || opts.root_density > 1.0) {
+        return Status::InvalidArgument("bender density must be in (0, 1]");
+      }
+    } else if (parts.size() > 2) {
+      return Status::InvalidArgument("usage: bender[:<rho>]");
+    }
+    return std::unique_ptr<OrderMaintainer>(new BenderList(opts));
+  }
+  if (kind == "ltree" || kind == "virtual") {
+    if (parts.size() != 3) {
+      return Status::InvalidArgument("usage: (ltree|virtual):<f>:<s>");
+    }
+    Params params;
+    params.f = static_cast<uint32_t>(
+        std::strtoul(std::string(parts[1]).c_str(), nullptr, 10));
+    params.s = static_cast<uint32_t>(
+        std::strtoul(std::string(parts[2]).c_str(), nullptr, 10));
+    if (kind == "ltree") {
+      LTREE_ASSIGN_OR_RETURN(auto m, LTreeMaintainer::Make(params));
+      return std::unique_ptr<OrderMaintainer>(std::move(m));
+    }
+    LTREE_ASSIGN_OR_RETURN(auto m, VirtualLTreeMaintainer::Make(params));
+    return std::unique_ptr<OrderMaintainer>(std::move(m));
+  }
+  return Status::InvalidArgument("unknown maintainer spec: " + spec);
+}
+
+}  // namespace listlab
+}  // namespace ltree

@@ -1,0 +1,28 @@
+// Construction of order-maintenance schemes by name, for benches and
+// parameterized tests.
+
+#ifndef LTREE_LISTLAB_FACTORY_H_
+#define LTREE_LISTLAB_FACTORY_H_
+
+#include <memory>
+#include <string>
+
+#include "listlab/order_maintainer.h"
+
+namespace ltree {
+namespace listlab {
+
+/// Spec grammar:
+///   "sequential"
+///   "gap:<G>"              e.g. "gap:64"
+///   "bender"               (root density 0.5)
+///   "bender:<rho>"         e.g. "bender:0.75"
+///   "ltree:<f>:<s>"        e.g. "ltree:16:4"
+///   "virtual:<f>:<s>"      e.g. "virtual:16:4"
+Result<std::unique_ptr<OrderMaintainer>> MakeMaintainer(
+    const std::string& spec);
+
+}  // namespace listlab
+}  // namespace ltree
+
+#endif  // LTREE_LISTLAB_FACTORY_H_

@@ -1,0 +1,81 @@
+#include "listlab/gap_list.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "common/math_util.h"
+#include "common/string_util.h"
+
+namespace ltree {
+namespace listlab {
+
+GapList::GapList(uint64_t gap) : gap_(gap) { LTREE_CHECK(gap_ >= 2); }
+
+std::string GapList::name() const {
+  return StrFormat("gap(G=%llu)", static_cast<unsigned long long>(gap_));
+}
+
+Status GapList::AssignInitialLabels(uint64_t n) {
+  auto max_label = CheckedMul(n - 1, gap_);
+  if (!max_label) {
+    return Status::CapacityExceeded("gap labels overflow 64 bits");
+  }
+  uint64_t next = 0;
+  for (ListItem* it = head_; it != nullptr; it = it->next) {
+    it->label = next;
+    next += gap_;
+  }
+  universe_ = std::max<uint64_t>(universe_, *max_label + 1);
+  return Status::OK();
+}
+
+Status GapList::RenumberAll(const ListItem* exclude) {
+  if (live_ > 0) {
+    auto max_label = CheckedMul(live_ - 1, gap_);
+    if (!max_label) {
+      return Status::CapacityExceeded("gap renumbering overflows 64 bits");
+    }
+    universe_ = std::max<uint64_t>(universe_, *max_label + 1);
+  }
+  uint64_t next = 0;
+  for (ListItem* it = head_; it != nullptr; it = it->next) {
+    if (it->label != next && it != exclude) {
+      ++stats_.items_relabeled;
+    }
+    it->label = next;
+    next += gap_;
+  }
+  ++stats_.rebalances;
+  return Status::OK();
+}
+
+Status GapList::PlaceItem(ListItem* item) {
+  const ListItem* prev = item->prev;
+  const ListItem* next = item->next;
+  if (next == nullptr) {
+    // Append: extend with a fresh gap.
+    const uint64_t base = prev == nullptr ? 0 : prev->label;
+    auto label = prev == nullptr ? std::optional<uint64_t>(0)
+                                 : CheckedAdd(base, gap_);
+    if (!label) return Status::CapacityExceeded("append overflows 64 bits");
+    item->label = *label;
+    universe_ = std::max<uint64_t>(universe_, item->label + 1);
+    return Status::OK();
+  }
+  if (prev == nullptr) {
+    // Prepend into [0, next.label).
+    if (next->label >= 1) {
+      item->label = next->label / 2;
+      return Status::OK();
+    }
+  } else if (next->label - prev->label >= 2) {
+    item->label = prev->label + (next->label - prev->label) / 2;
+    return Status::OK();
+  }
+  // Gap exhausted: renumber everything; the fresh item gets its slot as
+  // part of the sweep and is excluded from the relabel count.
+  return RenumberAll(item);
+}
+
+}  // namespace listlab
+}  // namespace ltree

@@ -1,0 +1,42 @@
+// GapList: fixed-gap labeling ("leave gaps in between successive labels to
+// reduce the number of relabelings upon updates", Section 1).
+//
+// Items are loaded with labels 0, G, 2G, ...; an insertion takes the
+// midpoint of the surrounding gap. When a gap is exhausted the entire list
+// is renumbered with gap G again (n relabels) — the classic trade-off the
+// paper criticizes: either G is large (many bits per label) or renumbering
+// is frequent.
+
+#ifndef LTREE_LISTLAB_GAP_LIST_H_
+#define LTREE_LISTLAB_GAP_LIST_H_
+
+#include "listlab/linked_list_base.h"
+
+namespace ltree {
+namespace listlab {
+
+class GapList : public LinkedListScheme {
+ public:
+  /// `gap` must be >= 2.
+  explicit GapList(uint64_t gap);
+
+  std::string name() const override;
+
+ protected:
+  Status AssignInitialLabels(uint64_t n) override;
+  Status PlaceItem(ListItem* item) override;
+  uint64_t LabelUniverse() const override { return universe_; }
+
+ private:
+  /// Renumbers all live items with gap `gap_`; fails on 64-bit overflow.
+  /// `exclude` (may be null) is not counted as a relabel (fresh item).
+  Status RenumberAll(const ListItem* exclude);
+
+  uint64_t gap_;
+  uint64_t universe_ = 1;
+};
+
+}  // namespace listlab
+}  // namespace ltree
+
+#endif  // LTREE_LISTLAB_GAP_LIST_H_

@@ -1,0 +1,190 @@
+#include "listlab/linked_list_base.h"
+
+#include "common/macros.h"
+#include "common/math_util.h"
+#include "common/string_util.h"
+
+namespace ltree {
+namespace listlab {
+
+std::string MaintStats::ToString() const {
+  return StrFormat(
+      "MaintStats{inserts=%llu erases=%llu relabeled=%llu rebalances=%llu "
+      "relabels/insert=%.3f}",
+      static_cast<unsigned long long>(inserts),
+      static_cast<unsigned long long>(erases),
+      static_cast<unsigned long long>(items_relabeled),
+      static_cast<unsigned long long>(rebalances), RelabelsPerInsert());
+}
+
+LinkedListScheme::~LinkedListScheme() {
+  for (ListItem* item : items_) delete item;
+}
+
+Result<ListItem*> LinkedListScheme::FindLive(ItemId id) const {
+  if (id >= items_.size() || items_[id] == nullptr || items_[id]->erased) {
+    return Status::NotFound("unknown or erased item id");
+  }
+  return items_[id];
+}
+
+ListItem* LinkedListScheme::AllocItem() {
+  ListItem* item = new ListItem;
+  item->id = items_.size();
+  items_.push_back(item);
+  return item;
+}
+
+void LinkedListScheme::LinkAfter(ListItem* where, ListItem* item) {
+  if (where == nullptr) {
+    item->prev = nullptr;
+    item->next = head_;
+    if (head_ != nullptr) head_->prev = item;
+    head_ = item;
+    if (tail_ == nullptr) tail_ = item;
+  } else {
+    item->prev = where;
+    item->next = where->next;
+    if (where->next != nullptr) where->next->prev = item;
+    where->next = item;
+    if (tail_ == where) tail_ = item;
+  }
+  ++live_;
+}
+
+void LinkedListScheme::Unlink(ListItem* item) {
+  if (item->prev != nullptr) item->prev->next = item->next;
+  if (item->next != nullptr) item->next->prev = item->prev;
+  if (head_ == item) head_ = item->next;
+  if (tail_ == item) tail_ = item->prev;
+  item->prev = item->next = nullptr;
+  --live_;
+}
+
+Status LinkedListScheme::BulkLoad(uint64_t n, std::vector<ItemId>* ids) {
+  if (live_ != 0 || !items_.empty()) {
+    return Status::FailedPrecondition("BulkLoad requires an empty list");
+  }
+  ListItem* prev = nullptr;
+  for (uint64_t i = 0; i < n; ++i) {
+    ListItem* item = AllocItem();
+    LinkAfter(prev, item);
+    prev = item;
+    if (ids != nullptr) ids->push_back(item->id);
+  }
+  if (n > 0) {
+    LTREE_RETURN_IF_ERROR(AssignInitialLabels(n));
+  }
+  return Status::OK();
+}
+
+Result<ItemId> LinkedListScheme::InsertAfter(ItemId pos) {
+  LTREE_ASSIGN_OR_RETURN(ListItem * where, FindLive(pos));
+  ListItem* item = AllocItem();
+  LinkAfter(where, item);
+  Status st = PlaceItem(item);
+  if (!st.ok()) {
+    Unlink(item);
+    items_[item->id] = nullptr;
+    delete item;
+    return st;
+  }
+  ++stats_.inserts;
+  return item->id;
+}
+
+Result<ItemId> LinkedListScheme::InsertBefore(ItemId pos) {
+  LTREE_ASSIGN_OR_RETURN(ListItem * where, FindLive(pos));
+  ListItem* item = AllocItem();
+  LinkAfter(where->prev, item);
+  Status st = PlaceItem(item);
+  if (!st.ok()) {
+    Unlink(item);
+    items_[item->id] = nullptr;
+    delete item;
+    return st;
+  }
+  ++stats_.inserts;
+  return item->id;
+}
+
+Result<ItemId> LinkedListScheme::PushBack() {
+  ListItem* item = AllocItem();
+  LinkAfter(tail_, item);
+  Status st = PlaceItem(item);
+  if (!st.ok()) {
+    Unlink(item);
+    items_[item->id] = nullptr;
+    delete item;
+    return st;
+  }
+  ++stats_.inserts;
+  return item->id;
+}
+
+Result<ItemId> LinkedListScheme::PushFront() {
+  ListItem* item = AllocItem();
+  LinkAfter(nullptr, item);
+  Status st = PlaceItem(item);
+  if (!st.ok()) {
+    Unlink(item);
+    items_[item->id] = nullptr;
+    delete item;
+    return st;
+  }
+  ++stats_.inserts;
+  return item->id;
+}
+
+Status LinkedListScheme::Erase(ItemId id) {
+  LTREE_ASSIGN_OR_RETURN(ListItem * item, FindLive(id));
+  Unlink(item);
+  item->erased = true;
+  ++stats_.erases;
+  return Status::OK();
+}
+
+Result<Label> LinkedListScheme::GetLabel(ItemId id) const {
+  LTREE_ASSIGN_OR_RETURN(ListItem * item, FindLive(id));
+  return item->label;
+}
+
+uint32_t LinkedListScheme::label_bits() const {
+  const uint64_t universe = LabelUniverse();
+  return universe <= 1 ? 1 : BitWidth(universe - 1);
+}
+
+std::vector<Label> LinkedListScheme::Labels() const {
+  std::vector<Label> out;
+  out.reserve(live_);
+  for (ListItem* it = head_; it != nullptr; it = it->next) {
+    out.push_back(it->label);
+  }
+  return out;
+}
+
+Status LinkedListScheme::CheckInvariants() const {
+  uint64_t count = 0;
+  const ListItem* prev = nullptr;
+  for (const ListItem* it = head_; it != nullptr; it = it->next) {
+    if (it->erased) return Status::Corruption("erased item still linked");
+    if (it->prev != prev) return Status::Corruption("broken prev link");
+    if (prev != nullptr && prev->label >= it->label) {
+      return Status::Corruption(StrFormat(
+          "labels not strictly increasing: %llu then %llu",
+          static_cast<unsigned long long>(prev->label),
+          static_cast<unsigned long long>(it->label)));
+    }
+    if (it->label >= LabelUniverse()) {
+      return Status::Corruption("label outside universe");
+    }
+    prev = it;
+    ++count;
+  }
+  if (prev != tail_) return Status::Corruption("tail mismatch");
+  if (count != live_) return Status::Corruption("live count mismatch");
+  return Status::OK();
+}
+
+}  // namespace listlab
+}  // namespace ltree

@@ -1,0 +1,73 @@
+// Shared doubly-linked-list plumbing for the label-on-node baseline schemes
+// (sequential, gap, Bender). Keeps item allocation, id lookup and the
+// generic parts of OrderMaintainer so each scheme only implements its label
+// policy.
+
+#ifndef LTREE_LISTLAB_LINKED_LIST_BASE_H_
+#define LTREE_LISTLAB_LINKED_LIST_BASE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "listlab/order_maintainer.h"
+
+namespace ltree {
+namespace listlab {
+
+/// A list item with an explicit stored label.
+struct ListItem {
+  ListItem* prev = nullptr;
+  ListItem* next = nullptr;
+  Label label = 0;
+  ItemId id = 0;
+  bool erased = false;
+};
+
+/// Base class: owns the items, the id table and the list links.
+class LinkedListScheme : public OrderMaintainer {
+ public:
+  ~LinkedListScheme() override;
+
+  Status BulkLoad(uint64_t n, std::vector<ItemId>* ids) final;
+  Result<ItemId> InsertAfter(ItemId pos) final;
+  Result<ItemId> InsertBefore(ItemId pos) final;
+  Result<ItemId> PushBack() final;
+  Result<ItemId> PushFront() final;
+  Status Erase(ItemId id) final;
+  Result<Label> GetLabel(ItemId id) const final;
+  uint64_t size() const final { return live_; }
+  uint32_t label_bits() const final;
+  std::vector<Label> Labels() const final;
+  const MaintStats& stats() const final { return stats_; }
+  void ResetStats() final { stats_ = MaintStats(); }
+  Status CheckInvariants() const override;
+
+ protected:
+  /// Assigns initial labels for the n freshly linked items (head_ onward).
+  /// Called once from BulkLoad.
+  virtual Status AssignInitialLabels(uint64_t n) = 0;
+
+  /// Assigns `item`'s label given its linked neighbours (item is already
+  /// linked in). May relabel neighbours; must bump stats_ accordingly.
+  virtual Status PlaceItem(ListItem* item) = 0;
+
+  /// Lowest label value a scheme may assign (0) and the exclusive upper
+  /// bound of its current label universe (for bits accounting).
+  virtual uint64_t LabelUniverse() const = 0;
+
+  Result<ListItem*> FindLive(ItemId id) const;
+  ListItem* AllocItem();
+  void LinkAfter(ListItem* where, ListItem* item);   // where may be null: front
+  void Unlink(ListItem* item);
+
+  ListItem* head_ = nullptr;
+  ListItem* tail_ = nullptr;
+  std::vector<ListItem*> items_;  // id -> item
+  uint64_t live_ = 0;
+  MaintStats stats_;
+};
+
+}  // namespace listlab
+}  // namespace ltree
+
+#endif  // LTREE_LISTLAB_LINKED_LIST_BASE_H_

@@ -1,0 +1,238 @@
+#include "listlab/ltree_adapters.h"
+
+#include <numeric>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace ltree {
+namespace listlab {
+
+// ---------------------------------------------------------------------------
+// Materialized adapter
+// ---------------------------------------------------------------------------
+
+LTreeMaintainer::LTreeMaintainer(std::unique_ptr<LTree> tree)
+    : tree_(std::move(tree)) {}
+
+Result<std::unique_ptr<LTreeMaintainer>> LTreeMaintainer::Make(
+    const Params& params) {
+  LTREE_ASSIGN_OR_RETURN(std::unique_ptr<LTree> tree, LTree::Create(params));
+  return std::unique_ptr<LTreeMaintainer>(
+      new LTreeMaintainer(std::move(tree)));
+}
+
+std::string LTreeMaintainer::name() const {
+  return StrFormat("ltree(f=%u,s=%u)", tree_->params().f, tree_->params().s);
+}
+
+Result<LTree::LeafHandle> LTreeMaintainer::Handle(ItemId id) const {
+  if (id >= handles_.size() || handles_[id] == nullptr ||
+      tree_->deleted(handles_[id])) {
+    return Status::NotFound("unknown or erased item id");
+  }
+  return handles_[id];
+}
+
+ItemId LTreeMaintainer::Register(LTree::LeafHandle handle) {
+  handles_.push_back(handle);
+  return handles_.size() - 1;
+}
+
+Status LTreeMaintainer::BulkLoad(uint64_t n, std::vector<ItemId>* ids) {
+  std::vector<LeafCookie> cookies(n);
+  std::iota(cookies.begin(), cookies.end(), handles_.size());
+  std::vector<LTree::LeafHandle> fresh;
+  LTREE_RETURN_IF_ERROR(tree_->BulkLoad(cookies, &fresh));
+  for (auto h : fresh) {
+    const ItemId id = Register(h);
+    if (ids != nullptr) ids->push_back(id);
+  }
+  return Status::OK();
+}
+
+Result<ItemId> LTreeMaintainer::InsertAfter(ItemId pos) {
+  LTREE_ASSIGN_OR_RETURN(LTree::LeafHandle where, Handle(pos));
+  LTREE_ASSIGN_OR_RETURN(LTree::LeafHandle fresh,
+                         tree_->InsertAfter(where, handles_.size()));
+  return Register(fresh);
+}
+
+Result<ItemId> LTreeMaintainer::InsertBefore(ItemId pos) {
+  LTREE_ASSIGN_OR_RETURN(LTree::LeafHandle where, Handle(pos));
+  LTREE_ASSIGN_OR_RETURN(LTree::LeafHandle fresh,
+                         tree_->InsertBefore(where, handles_.size()));
+  return Register(fresh);
+}
+
+Result<ItemId> LTreeMaintainer::PushBack() {
+  LTREE_ASSIGN_OR_RETURN(LTree::LeafHandle fresh,
+                         tree_->PushBack(handles_.size()));
+  return Register(fresh);
+}
+
+Result<ItemId> LTreeMaintainer::PushFront() {
+  LTREE_ASSIGN_OR_RETURN(LTree::LeafHandle fresh,
+                         tree_->PushFront(handles_.size()));
+  return Register(fresh);
+}
+
+Status LTreeMaintainer::Erase(ItemId id) {
+  LTREE_ASSIGN_OR_RETURN(LTree::LeafHandle where, Handle(id));
+  return tree_->MarkDeleted(where);
+}
+
+Result<Label> LTreeMaintainer::GetLabel(ItemId id) const {
+  LTREE_ASSIGN_OR_RETURN(LTree::LeafHandle where, Handle(id));
+  return tree_->label(where);
+}
+
+const MaintStats& LTreeMaintainer::stats() const {
+  const LTreeStats& ts = tree_->stats();
+  stats_.inserts = ts.inserts + ts.batch_leaves;
+  stats_.erases = ts.deletes;
+  stats_.items_relabeled = ts.leaves_relabeled;
+  stats_.rebalances = ts.splits + ts.root_splits;
+  return stats_;
+}
+
+void LTreeMaintainer::ResetStats() {
+  tree_->ResetStats();
+  stats_ = MaintStats();
+}
+
+// ---------------------------------------------------------------------------
+// Virtual adapter
+// ---------------------------------------------------------------------------
+
+VirtualLTreeMaintainer::VirtualLTreeMaintainer(
+    std::unique_ptr<VirtualLTree> tree)
+    : tree_(std::move(tree)) {
+  tree_->set_listener(this);
+}
+
+Result<std::unique_ptr<VirtualLTreeMaintainer>> VirtualLTreeMaintainer::Make(
+    const Params& params) {
+  LTREE_ASSIGN_OR_RETURN(std::unique_ptr<VirtualLTree> tree,
+                         VirtualLTree::Create(params));
+  return std::unique_ptr<VirtualLTreeMaintainer>(
+      new VirtualLTreeMaintainer(std::move(tree)));
+}
+
+std::string VirtualLTreeMaintainer::name() const {
+  return StrFormat("virtual-ltree(f=%u,s=%u)", tree_->params().f,
+                   tree_->params().s);
+}
+
+void VirtualLTreeMaintainer::OnRelabel(LeafCookie cookie, Label old_label,
+                                       Label new_label) {
+  (void)old_label;
+  LTREE_CHECK(cookie < label_of_id_.size());
+  label_of_id_[cookie] = new_label;
+}
+
+Result<Label> VirtualLTreeMaintainer::CurrentLabel(ItemId id) const {
+  if (id >= label_of_id_.size() || erased_[id]) {
+    return Status::NotFound("unknown or erased item id");
+  }
+  return label_of_id_[id];
+}
+
+Status VirtualLTreeMaintainer::BulkLoad(uint64_t n, std::vector<ItemId>* ids) {
+  std::vector<LeafCookie> cookies(n);
+  std::iota(cookies.begin(), cookies.end(), label_of_id_.size());
+  std::vector<Label> labels;
+  LTREE_RETURN_IF_ERROR(tree_->BulkLoad(cookies, &labels));
+  for (Label l : labels) {
+    label_of_id_.push_back(l);
+    erased_.push_back(false);
+    if (ids != nullptr) ids->push_back(label_of_id_.size() - 1);
+  }
+  return Status::OK();
+}
+
+Result<ItemId> VirtualLTreeMaintainer::InsertAfter(ItemId pos) {
+  LTREE_ASSIGN_OR_RETURN(Label where, CurrentLabel(pos));
+  const ItemId id = label_of_id_.size();
+  label_of_id_.push_back(0);
+  erased_.push_back(false);
+  auto fresh = tree_->InsertAfter(where, id);
+  if (!fresh.ok()) {
+    label_of_id_.pop_back();
+    erased_.pop_back();
+    return fresh.status();
+  }
+  label_of_id_[id] = *fresh;
+  return id;
+}
+
+Result<ItemId> VirtualLTreeMaintainer::InsertBefore(ItemId pos) {
+  LTREE_ASSIGN_OR_RETURN(Label where, CurrentLabel(pos));
+  const ItemId id = label_of_id_.size();
+  label_of_id_.push_back(0);
+  erased_.push_back(false);
+  auto fresh = tree_->InsertBefore(where, id);
+  if (!fresh.ok()) {
+    label_of_id_.pop_back();
+    erased_.pop_back();
+    return fresh.status();
+  }
+  label_of_id_[id] = *fresh;
+  return id;
+}
+
+Result<ItemId> VirtualLTreeMaintainer::PushBack() {
+  const ItemId id = label_of_id_.size();
+  label_of_id_.push_back(0);
+  erased_.push_back(false);
+  auto fresh = tree_->PushBack(id);
+  if (!fresh.ok()) {
+    label_of_id_.pop_back();
+    erased_.pop_back();
+    return fresh.status();
+  }
+  label_of_id_[id] = *fresh;
+  return id;
+}
+
+Result<ItemId> VirtualLTreeMaintainer::PushFront() {
+  const ItemId id = label_of_id_.size();
+  label_of_id_.push_back(0);
+  erased_.push_back(false);
+  auto fresh = tree_->PushFront(id);
+  if (!fresh.ok()) {
+    label_of_id_.pop_back();
+    erased_.pop_back();
+    return fresh.status();
+  }
+  label_of_id_[id] = *fresh;
+  return id;
+}
+
+Status VirtualLTreeMaintainer::Erase(ItemId id) {
+  LTREE_ASSIGN_OR_RETURN(Label where, CurrentLabel(id));
+  LTREE_RETURN_IF_ERROR(tree_->MarkDeleted(where));
+  erased_[id] = true;
+  return Status::OK();
+}
+
+Result<Label> VirtualLTreeMaintainer::GetLabel(ItemId id) const {
+  return CurrentLabel(id);
+}
+
+const MaintStats& VirtualLTreeMaintainer::stats() const {
+  const VirtualLTreeStats& ts = tree_->stats();
+  stats_.inserts = ts.inserts + ts.batch_leaves;
+  stats_.erases = ts.deletes;
+  stats_.items_relabeled = ts.labels_rewritten;
+  stats_.rebalances = ts.splits + ts.root_splits;
+  return stats_;
+}
+
+void VirtualLTreeMaintainer::ResetStats() {
+  tree_->ResetStats();
+  stats_ = MaintStats();
+}
+
+}  // namespace listlab
+}  // namespace ltree

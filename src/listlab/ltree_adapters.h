@@ -1,0 +1,88 @@
+// OrderMaintainer adapters for the paper's two L-Tree variants, so the
+// bench harness can drive every scheme with the same op stream.
+
+#ifndef LTREE_LISTLAB_LTREE_ADAPTERS_H_
+#define LTREE_LISTLAB_LTREE_ADAPTERS_H_
+
+#include <memory>
+
+#include "core/ltree.h"
+#include "listlab/order_maintainer.h"
+#include "virtual_ltree/virtual_ltree.h"
+
+namespace ltree {
+namespace listlab {
+
+/// Materialized L-Tree behind the OrderMaintainer interface. ItemIds map to
+/// leaf handles; relabels are counted via the tree's own statistics.
+class LTreeMaintainer : public OrderMaintainer {
+ public:
+  static Result<std::unique_ptr<LTreeMaintainer>> Make(const Params& params);
+
+  std::string name() const override;
+  Status BulkLoad(uint64_t n, std::vector<ItemId>* ids) override;
+  Result<ItemId> InsertAfter(ItemId pos) override;
+  Result<ItemId> InsertBefore(ItemId pos) override;
+  Result<ItemId> PushBack() override;
+  Result<ItemId> PushFront() override;
+  Status Erase(ItemId id) override;
+  Result<Label> GetLabel(ItemId id) const override;
+  uint64_t size() const override { return tree_->num_live_leaves(); }
+  uint32_t label_bits() const override { return tree_->label_bits(); }
+  std::vector<Label> Labels() const override { return tree_->LiveLabels(); }
+  const MaintStats& stats() const override;
+  void ResetStats() override;
+  Status CheckInvariants() const override { return tree_->CheckInvariants(); }
+
+  /// The wrapped tree (for L-Tree-specific stats in benches).
+  LTree* tree() { return tree_.get(); }
+
+ private:
+  explicit LTreeMaintainer(std::unique_ptr<LTree> tree);
+  Result<LTree::LeafHandle> Handle(ItemId id) const;
+  ItemId Register(LTree::LeafHandle handle);
+
+  std::unique_ptr<LTree> tree_;
+  std::vector<LTree::LeafHandle> handles_;  // id -> handle
+  mutable MaintStats stats_;
+};
+
+/// Virtual L-Tree behind the OrderMaintainer interface. Labels move, so the
+/// adapter tracks id -> label through the tree's RelabelListener.
+class VirtualLTreeMaintainer : public OrderMaintainer, private RelabelListener {
+ public:
+  static Result<std::unique_ptr<VirtualLTreeMaintainer>> Make(
+      const Params& params);
+
+  std::string name() const override;
+  Status BulkLoad(uint64_t n, std::vector<ItemId>* ids) override;
+  Result<ItemId> InsertAfter(ItemId pos) override;
+  Result<ItemId> InsertBefore(ItemId pos) override;
+  Result<ItemId> PushBack() override;
+  Result<ItemId> PushFront() override;
+  Status Erase(ItemId id) override;
+  Result<Label> GetLabel(ItemId id) const override;
+  uint64_t size() const override { return tree_->num_live_leaves(); }
+  uint32_t label_bits() const override { return tree_->label_bits(); }
+  std::vector<Label> Labels() const override { return tree_->LiveLabels(); }
+  const MaintStats& stats() const override;
+  void ResetStats() override;
+  Status CheckInvariants() const override { return tree_->CheckInvariants(); }
+
+  VirtualLTree* tree() { return tree_.get(); }
+
+ private:
+  explicit VirtualLTreeMaintainer(std::unique_ptr<VirtualLTree> tree);
+  void OnRelabel(LeafCookie cookie, Label old_label, Label new_label) override;
+  Result<Label> CurrentLabel(ItemId id) const;
+
+  std::unique_ptr<VirtualLTree> tree_;
+  std::vector<Label> label_of_id_;   // id -> current label
+  std::vector<bool> erased_;
+  mutable MaintStats stats_;
+};
+
+}  // namespace listlab
+}  // namespace ltree
+
+#endif  // LTREE_LISTLAB_LTREE_ADAPTERS_H_

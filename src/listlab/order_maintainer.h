@@ -1,0 +1,97 @@
+// Order-maintenance framework.
+//
+// The paper frames XML label maintenance as "maintenance of an ordered
+// list" (Section 2): assign integer labels to list items so that list order
+// equals label order, and bound how many labels change per insertion. This
+// header defines the uniform interface implemented by:
+//
+//   * the L-Tree (materialized and virtual) — the paper's contribution;
+//   * SequentialList — the Section 1 strawman (consecutive integers, suffix
+//     shifts on insert, ~n/2 relabels on average);
+//   * GapList — fixed gaps of size G, full renumbering when a gap fills;
+//   * BenderList — density-scaled aligned-range relabeling in the spirit of
+//     the order-maintenance literature the paper cites ([8, 9, 16]).
+//
+// Items are addressed by stable ItemIds assigned by the maintainer, so
+// benches and tests can drive every scheme with identical op streams.
+
+#ifndef LTREE_LISTLAB_ORDER_MAINTAINER_H_
+#define LTREE_LISTLAB_ORDER_MAINTAINER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/params.h"
+
+namespace ltree {
+namespace listlab {
+
+/// Stable item identifier (survives relabeling).
+using ItemId = uint64_t;
+
+/// Uniform cost accounting across schemes. "Relabels" is the paper's
+/// currency: the number of stored labels that changed.
+struct MaintStats {
+  uint64_t inserts = 0;
+  uint64_t erases = 0;
+  /// Existing items whose label changed (excludes the inserted item itself).
+  uint64_t items_relabeled = 0;
+  /// Rebalance/renumber events (splits for the L-Tree, window
+  /// redistributions for Bender, full renumberings for Gap/Sequential).
+  uint64_t rebalances = 0;
+
+  double RelabelsPerInsert() const {
+    return inserts == 0 ? 0.0
+                        : static_cast<double>(items_relabeled) /
+                              static_cast<double>(inserts);
+  }
+
+  std::string ToString() const;
+};
+
+class OrderMaintainer {
+ public:
+  virtual ~OrderMaintainer() = default;
+
+  /// Scheme name for bench tables (e.g. "ltree(f=16,s=4)").
+  virtual std::string name() const = 0;
+
+  /// Loads n items into an empty list; returns their ids in list order.
+  virtual Status BulkLoad(uint64_t n, std::vector<ItemId>* ids) = 0;
+
+  virtual Result<ItemId> InsertAfter(ItemId pos) = 0;
+  virtual Result<ItemId> InsertBefore(ItemId pos) = 0;
+  /// Works on an empty list.
+  virtual Result<ItemId> PushBack() = 0;
+  virtual Result<ItemId> PushFront() = 0;
+
+  /// Removes an item from the order (tombstone or physical, scheme's
+  /// choice; the id becomes invalid either way).
+  virtual Status Erase(ItemId id) = 0;
+
+  /// Current label of a live item. Order of labels == list order.
+  virtual Result<Label> GetLabel(ItemId id) const = 0;
+
+  /// Live item count.
+  virtual uint64_t size() const = 0;
+
+  /// Bits needed to encode the largest label the scheme currently uses.
+  virtual uint32_t label_bits() const = 0;
+
+  /// Live labels in list order (for order-preservation checks).
+  virtual std::vector<Label> Labels() const = 0;
+
+  virtual const MaintStats& stats() const = 0;
+  virtual void ResetStats() = 0;
+
+  /// Structural self-check for tests.
+  virtual Status CheckInvariants() const = 0;
+};
+
+}  // namespace listlab
+}  // namespace ltree
+
+#endif  // LTREE_LISTLAB_ORDER_MAINTAINER_H_

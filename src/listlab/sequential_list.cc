@@ -1,0 +1,36 @@
+#include "listlab/sequential_list.h"
+
+#include <algorithm>
+
+namespace ltree {
+namespace listlab {
+
+Status SequentialList::AssignInitialLabels(uint64_t n) {
+  uint64_t next = 0;
+  for (ListItem* it = head_; it != nullptr; it = it->next) {
+    it->label = next++;
+  }
+  max_label_ = n - 1;
+  return Status::OK();
+}
+
+Status SequentialList::PlaceItem(ListItem* item) {
+  const uint64_t lo = item->prev == nullptr ? 0 : item->prev->label + 1;
+  item->label = lo;
+  max_label_ = std::max(max_label_, item->label);
+  // Shift the suffix up until the first gap absorbs the displacement.
+  uint64_t expected = lo + 1;
+  bool shifted = false;
+  for (ListItem* cur = item->next; cur != nullptr && cur->label < expected;
+       cur = cur->next) {
+    cur->label = expected++;
+    ++stats_.items_relabeled;
+    shifted = true;
+    max_label_ = std::max(max_label_, cur->label);
+  }
+  if (shifted) ++stats_.rebalances;
+  return Status::OK();
+}
+
+}  // namespace listlab
+}  // namespace ltree

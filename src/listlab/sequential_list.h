@@ -1,0 +1,39 @@
+// SequentialList: the Section 1 strawman labeling scheme.
+//
+// "Consider the labeling scheme ... which assigns labels from the integer
+// domain, in sequential order. This leads to relabeling of half the nodes on
+// average, even for a single node insertion."
+//
+// Items get consecutive integers at load time. An insertion between two
+// adjacent labels shifts every label to the right of the insertion point up
+// by one (O(n - r) relabels). Erasures leave gaps, which later insertions at
+// that exact spot may reuse — matching how a naive ordinal column in an
+// RDBMS would behave.
+
+#ifndef LTREE_LISTLAB_SEQUENTIAL_LIST_H_
+#define LTREE_LISTLAB_SEQUENTIAL_LIST_H_
+
+#include "listlab/linked_list_base.h"
+
+namespace ltree {
+namespace listlab {
+
+class SequentialList : public LinkedListScheme {
+ public:
+  SequentialList() = default;
+
+  std::string name() const override { return "sequential"; }
+
+ protected:
+  Status AssignInitialLabels(uint64_t n) override;
+  Status PlaceItem(ListItem* item) override;
+  uint64_t LabelUniverse() const override { return max_label_ + 1; }
+
+ private:
+  uint64_t max_label_ = 0;
+};
+
+}  // namespace listlab
+}  // namespace ltree
+
+#endif  // LTREE_LISTLAB_SEQUENTIAL_LIST_H_

@@ -1,0 +1,47 @@
+#include "model/cost_model.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace ltree {
+namespace model {
+
+double CostModel::Height(double f, double s, double n) {
+  LTREE_CHECK(f > s && s >= 2.0 && n >= 2.0);
+  return std::log(n) / std::log(f / s);
+}
+
+double CostModel::AmortizedInsertCost(double f, double s, double n) {
+  const double h = Height(f, s, n);
+  return (1.0 + 2.0 * f / (s - 1.0)) * h + f;
+}
+
+double CostModel::LabelBits(double f, double s, double n) {
+  const double h = Height(f, s, n);
+  return std::log2(f + 1.0) * h;
+}
+
+double CostModel::BatchAmortizedCost(double f, double s, double n, double k) {
+  LTREE_CHECK(k >= 1.0);
+  const double log_d = std::log(f / s);
+  const double h = std::log(n) / log_d;
+  const double h0 = std::log(std::max(k, 1.0)) / log_d;
+  return h / k + f / k +
+         (2.0 * f / (s - 1.0)) * (std::max(h - h0, 0.0) + 1.0);
+}
+
+double CostModel::QueryCompareCost(double bits, uint32_t word_bits) {
+  if (bits <= static_cast<double>(word_bits)) return 1.0;
+  return bits / static_cast<double>(word_bits);
+}
+
+double CostModel::OverallCost(double f, double s, double n,
+                              double query_fraction, uint32_t word_bits) {
+  const double q = query_fraction;
+  return q * QueryCompareCost(LabelBits(f, s, n), word_bits) +
+         (1.0 - q) * AmortizedInsertCost(f, s, n);
+}
+
+}  // namespace model
+}  // namespace ltree

@@ -1,0 +1,138 @@
+#include "model/tuner.h"
+
+#include <cmath>
+#include <functional>
+#include <limits>
+
+#include "common/string_util.h"
+#include "model/cost_model.h"
+
+namespace ltree {
+namespace model {
+
+std::string TuningResult::ToString() const {
+  return StrFormat(
+      "TuningResult{f=%u s=%u cost=%.2f bits=%.2f overall=%.3f}", params.f,
+      params.s, predicted_cost, predicted_bits, predicted_overall);
+}
+
+namespace {
+
+/// Walks the (s, d) lattice and keeps the argmin of `objective`; lattice
+/// points where `feasible` is false are skipped.
+template <typename Objective, typename Feasible>
+bool LatticeArgmin(double n, const TunerRanges& ranges, Objective objective,
+                   Feasible feasible, TuningResult* best) {
+  double best_value = std::numeric_limits<double>::infinity();
+  bool found = false;
+  for (uint32_t s = 2; s <= ranges.max_s; ++s) {
+    for (uint32_t d = 2; d <= ranges.max_d; ++d) {
+      const double f = static_cast<double>(s) * d;
+      if (!feasible(f, static_cast<double>(s))) continue;
+      const double value = objective(f, static_cast<double>(s));
+      if (value < best_value) {
+        best_value = value;
+        best->params = Params{.f = s * d, .s = s};
+        found = true;
+      }
+    }
+  }
+  if (found) {
+    const double f = best->params.f;
+    const double s = best->params.s;
+    best->predicted_cost = CostModel::AmortizedInsertCost(f, s, n);
+    best->predicted_bits = CostModel::LabelBits(f, s, n);
+  }
+  return found;
+}
+
+/// Golden-section minimization of a unimodal-ish function on [lo, hi].
+double GoldenSection(const std::function<double(double)>& fn, double lo,
+                     double hi, int iters = 80) {
+  const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+  double a = lo;
+  double b = hi;
+  double c = b - phi * (b - a);
+  double d = a + phi * (b - a);
+  double fc = fn(c);
+  double fd = fn(d);
+  for (int i = 0; i < iters; ++i) {
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - phi * (b - a);
+      fc = fn(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + phi * (b - a);
+      fd = fn(d);
+    }
+  }
+  return (a + b) / 2.0;
+}
+
+}  // namespace
+
+TuningResult Tuner::MinimizeCost(double n, TunerRanges ranges) {
+  TuningResult best;
+  LatticeArgmin(
+      n, ranges,
+      [n](double f, double s) { return CostModel::AmortizedInsertCost(f, s, n); },
+      [](double, double) { return true; }, &best);
+  return best;
+}
+
+Result<TuningResult> Tuner::MinimizeCostWithBitsBudget(double n,
+                                                       double max_bits,
+                                                       TunerRanges ranges) {
+  TuningResult best;
+  const bool found = LatticeArgmin(
+      n, ranges,
+      [n](double f, double s) { return CostModel::AmortizedInsertCost(f, s, n); },
+      [n, max_bits](double f, double s) {
+        return CostModel::LabelBits(f, s, n) <= max_bits;
+      },
+      &best);
+  if (!found) {
+    return Status::InvalidArgument(
+        StrFormat("no (f, s) in range satisfies bits <= %.1f for n=%.0f",
+                  max_bits, n));
+  }
+  return best;
+}
+
+TuningResult Tuner::MinimizeOverallCost(double n, double query_fraction,
+                                        uint32_t word_bits,
+                                        TunerRanges ranges) {
+  TuningResult best;
+  LatticeArgmin(
+      n, ranges,
+      [n, query_fraction, word_bits](double f, double s) {
+        return CostModel::OverallCost(f, s, n, query_fraction, word_bits);
+      },
+      [](double, double) { return true; }, &best);
+  best.predicted_overall = CostModel::OverallCost(
+      best.params.f, best.params.s, n, query_fraction, word_bits);
+  return best;
+}
+
+std::pair<double, double> Tuner::ContinuousMinimizeCost(double n) {
+  // Coordinate descent on (f, s) with the constraint f >= 2s (d >= 2).
+  double s = 3.0;
+  double f = 12.0;
+  for (int round = 0; round < 60; ++round) {
+    f = GoldenSection(
+        [&](double ff) { return CostModel::AmortizedInsertCost(ff, s, n); },
+        2.0 * s + 1e-6, 4096.0);
+    s = GoldenSection(
+        [&](double ss) { return CostModel::AmortizedInsertCost(f, ss, n); },
+        2.0, f / 2.0 - 1e-6);
+  }
+  return {f, s};
+}
+
+}  // namespace model
+}  // namespace ltree

@@ -1,0 +1,66 @@
+// Section 3.2: "Tuning the L-Tree" — choosing f and s for an application.
+//
+// Three models, exactly as the paper lays them out:
+//  (a) minimize the amortized update cost;
+//  (b) minimize the update cost subject to a label-size budget bits <= B
+//      (the paper solves this with a Lagrange multiplier on the boundary
+//      and compares with the interior optimum — we do the same, numerically,
+//      over the valid discrete lattice f = s*d);
+//  (c) minimize the overall workload cost, where label comparisons cost 1
+//      while a label fits a machine word and grow beyond that.
+
+#ifndef LTREE_MODEL_TUNER_H_
+#define LTREE_MODEL_TUNER_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/result.h"
+#include "core/params.h"
+
+namespace ltree {
+namespace model {
+
+/// Search lattice: s in [2, max_s], d = f/s in [2, max_d].
+struct TunerRanges {
+  uint32_t max_s = 16;
+  uint32_t max_d = 64;
+};
+
+struct TuningResult {
+  Params params;
+  double predicted_cost = 0.0;
+  double predicted_bits = 0.0;
+  /// For model (c): predicted overall per-op cost.
+  double predicted_overall = 0.0;
+
+  std::string ToString() const;
+};
+
+class Tuner {
+ public:
+  /// Model (a): argmin over the lattice of AmortizedInsertCost(f, s, n).
+  static TuningResult MinimizeCost(double n, TunerRanges ranges = TunerRanges());
+
+  /// Model (b): argmin of cost subject to LabelBits(f, s, n) <= max_bits.
+  /// Fails if no lattice point satisfies the budget.
+  static Result<TuningResult> MinimizeCostWithBitsBudget(
+      double n, double max_bits, TunerRanges ranges = TunerRanges());
+
+  /// Model (c): argmin of OverallCost for the given query fraction.
+  static TuningResult MinimizeOverallCost(double n, double query_fraction,
+                                          uint32_t word_bits = 64,
+                                          TunerRanges ranges = TunerRanges());
+
+  /// The continuous optimum (∂cost/∂f = ∂cost/∂s = 0 of Section 3.2),
+  /// located by coordinate descent with golden-section line searches.
+  /// Returns (f*, s*) as reals; the lattice optimum of MinimizeCost should
+  /// track it.
+  static std::pair<double, double> ContinuousMinimizeCost(double n);
+};
+
+}  // namespace model
+}  // namespace ltree
+
+#endif  // LTREE_MODEL_TUNER_H_

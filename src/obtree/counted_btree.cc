@@ -1,0 +1,677 @@
+#include "obtree/counted_btree.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace ltree {
+namespace obtree {
+
+struct CountedBTree::Node {
+  bool leaf = true;
+  /// Entries in this subtree (== keys.size() for leaves).
+  uint64_t count = 0;
+  /// Leaf: entry keys. Internal: keys[i] == smallest key in children[i+1].
+  std::vector<Label> keys;
+  /// Leaf only.
+  std::vector<uint64_t> values;
+  /// Internal only.
+  std::vector<Node*> children;
+};
+
+namespace {
+
+using Node = CountedBTree::Node;
+
+void DestroyNode(Node* n) {
+  if (n == nullptr) return;
+  for (Node* c : n->children) DestroyNode(c);
+  delete n;
+}
+
+/// Smallest key in the subtree.
+Label MinKey(const Node* n) {
+  while (!n->leaf) n = n->children.front();
+  return n->keys.front();
+}
+
+/// Child index to descend into for `key`.
+uint32_t ChildIndex(const Node* n, Label key) {
+  return static_cast<uint32_t>(
+      std::upper_bound(n->keys.begin(), n->keys.end(), key) -
+      n->keys.begin());
+}
+
+struct SplitResult {
+  Label separator;  // smallest key of the new right node
+  Node* right;
+};
+
+}  // namespace
+
+CountedBTree::CountedBTree(uint32_t order) : order_(order) {
+  LTREE_CHECK(order_ >= 4);
+}
+
+CountedBTree::~CountedBTree() { DestroyNode(root_); }
+
+CountedBTree::CountedBTree(CountedBTree&& other) noexcept
+    : root_(other.root_), order_(other.order_) {
+  other.root_ = nullptr;
+}
+
+CountedBTree& CountedBTree::operator=(CountedBTree&& other) noexcept {
+  if (this != &other) {
+    DestroyNode(root_);
+    root_ = other.root_;
+    order_ = other.order_;
+    other.root_ = nullptr;
+  }
+  return *this;
+}
+
+void CountedBTree::Clear() {
+  DestroyNode(root_);
+  root_ = nullptr;
+}
+
+uint64_t CountedBTree::size() const {
+  return root_ == nullptr ? 0 : root_->count;
+}
+
+// --------------------------------------------------------------------------
+// Insert
+// --------------------------------------------------------------------------
+
+namespace {
+
+Result<SplitResult*> InsertRec(Node* n, Label key, uint64_t value,
+                               uint32_t order, SplitResult* split_storage) {
+  if (n->leaf) {
+    auto it = std::lower_bound(n->keys.begin(), n->keys.end(), key);
+    const size_t pos = static_cast<size_t>(it - n->keys.begin());
+    if (it != n->keys.end() && *it == key) {
+      return Status::AlreadyExists("duplicate key");
+    }
+    n->keys.insert(it, key);
+    n->values.insert(n->values.begin() + pos, value);
+    n->count = n->keys.size();
+    if (n->keys.size() <= order) return static_cast<SplitResult*>(nullptr);
+    // Split the leaf in half.
+    Node* right = new Node;
+    right->leaf = true;
+    const size_t half = n->keys.size() / 2;
+    right->keys.assign(n->keys.begin() + half, n->keys.end());
+    right->values.assign(n->values.begin() + half, n->values.end());
+    n->keys.resize(half);
+    n->values.resize(half);
+    n->count = n->keys.size();
+    right->count = right->keys.size();
+    split_storage->separator = right->keys.front();
+    split_storage->right = right;
+    return split_storage;
+  }
+
+  const uint32_t ci = ChildIndex(n, key);
+  SplitResult child_split;
+  LTREE_ASSIGN_OR_RETURN(SplitResult * split,
+                         InsertRec(n->children[ci], key, value, order,
+                                   &child_split));
+  ++n->count;
+  if (split == nullptr) return static_cast<SplitResult*>(nullptr);
+  n->keys.insert(n->keys.begin() + ci, split->separator);
+  n->children.insert(n->children.begin() + ci + 1, split->right);
+  if (n->children.size() <= order) return static_cast<SplitResult*>(nullptr);
+  // Split this internal node.
+  Node* right = new Node;
+  right->leaf = false;
+  const size_t half_children = n->children.size() / 2;
+  // Separator promoted upward is the min key of the right half.
+  const Label up_sep = n->keys[half_children - 1];
+  right->children.assign(n->children.begin() + half_children,
+                         n->children.end());
+  right->keys.assign(n->keys.begin() + half_children, n->keys.end());
+  n->children.resize(half_children);
+  n->keys.resize(half_children - 1);
+  uint64_t right_count = 0;
+  for (Node* c : right->children) right_count += c->count;
+  right->count = right_count;
+  n->count -= right_count;
+  split_storage->separator = up_sep;
+  split_storage->right = right;
+  return split_storage;
+}
+
+}  // namespace
+
+Status CountedBTree::Insert(Label key, uint64_t value) {
+  if (root_ == nullptr) {
+    root_ = new Node;
+    root_->leaf = true;
+  }
+  SplitResult split_storage;
+  LTREE_ASSIGN_OR_RETURN(
+      SplitResult * split,
+      InsertRec(root_, key, value, order_, &split_storage));
+  if (split != nullptr) {
+    Node* new_root = new Node;
+    new_root->leaf = false;
+    new_root->children = {root_, split->right};
+    new_root->keys = {split->separator};
+    new_root->count = root_->count + split->right->count;
+    root_ = new_root;
+  }
+  return Status::OK();
+}
+
+// --------------------------------------------------------------------------
+// Update / Lookup
+// --------------------------------------------------------------------------
+
+namespace {
+
+Node* FindLeaf(Node* n, Label key) {
+  if (n == nullptr) return nullptr;
+  while (!n->leaf) n = n->children[ChildIndex(n, key)];
+  return n;
+}
+
+}  // namespace
+
+Status CountedBTree::Update(Label key, uint64_t value) {
+  Node* leaf = FindLeaf(root_, key);
+  if (leaf == nullptr) return Status::NotFound("empty tree");
+  auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+  if (it == leaf->keys.end() || *it != key) {
+    return Status::NotFound("key not present");
+  }
+  leaf->values[static_cast<size_t>(it - leaf->keys.begin())] = value;
+  return Status::OK();
+}
+
+Result<uint64_t> CountedBTree::Lookup(Label key) const {
+  Node* leaf = FindLeaf(root_, key);
+  if (leaf == nullptr) return Status::NotFound("empty tree");
+  auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+  if (it == leaf->keys.end() || *it != key) {
+    return Status::NotFound("key not present");
+  }
+  return leaf->values[static_cast<size_t>(it - leaf->keys.begin())];
+}
+
+bool CountedBTree::Contains(Label key) const { return Lookup(key).ok(); }
+
+// --------------------------------------------------------------------------
+// Delete
+// --------------------------------------------------------------------------
+
+namespace {
+
+/// Rebalances n->children[ci] after a deletion left it underfull.
+void FixUnderflow(Node* n, uint32_t ci, uint32_t order) {
+  Node* child = n->children[ci];
+  const size_t min_fill = order / 2;
+  const size_t child_size =
+      child->leaf ? child->keys.size() : child->children.size();
+  if (child_size >= min_fill) return;
+
+  Node* left = ci > 0 ? n->children[ci - 1] : nullptr;
+  Node* right = ci + 1 < n->children.size() ? n->children[ci + 1] : nullptr;
+
+  auto left_size = [&]() {
+    return left->leaf ? left->keys.size() : left->children.size();
+  };
+  auto right_size = [&]() {
+    return right->leaf ? right->keys.size() : right->children.size();
+  };
+
+  if (left != nullptr && left_size() > min_fill) {
+    // Borrow the largest item of the left sibling.
+    if (child->leaf) {
+      child->keys.insert(child->keys.begin(), left->keys.back());
+      child->values.insert(child->values.begin(), left->values.back());
+      left->keys.pop_back();
+      left->values.pop_back();
+      child->count = child->keys.size();
+      left->count = left->keys.size();
+    } else {
+      Node* moved = left->children.back();
+      left->children.pop_back();
+      // The separator between `moved` and child's old first child is the
+      // min key of the old first child.
+      child->keys.insert(child->keys.begin(), MinKey(child->children.front()));
+      child->children.insert(child->children.begin(), moved);
+      left->keys.pop_back();
+      child->count += moved->count;
+      left->count -= moved->count;
+    }
+    n->keys[ci - 1] = MinKey(child);
+    return;
+  }
+  if (right != nullptr && right_size() > min_fill) {
+    // Borrow the smallest item of the right sibling.
+    if (child->leaf) {
+      child->keys.push_back(right->keys.front());
+      child->values.push_back(right->values.front());
+      right->keys.erase(right->keys.begin());
+      right->values.erase(right->values.begin());
+      child->count = child->keys.size();
+      right->count = right->keys.size();
+    } else {
+      Node* moved = right->children.front();
+      right->children.erase(right->children.begin());
+      child->keys.push_back(MinKey(moved));
+      child->children.push_back(moved);
+      right->keys.erase(right->keys.begin());
+      child->count += moved->count;
+      right->count -= moved->count;
+    }
+    n->keys[ci] = MinKey(right);
+    return;
+  }
+
+  // Merge with a sibling (prefer left).
+  if (left != nullptr) {
+    // Merge child into left.
+    if (child->leaf) {
+      left->keys.insert(left->keys.end(), child->keys.begin(),
+                        child->keys.end());
+      left->values.insert(left->values.end(), child->values.begin(),
+                          child->values.end());
+      left->count = left->keys.size();
+    } else {
+      left->keys.push_back(MinKey(child->children.front()));
+      for (size_t i = 0; i + 1 < child->children.size(); ++i) {
+        left->keys.push_back(child->keys[i]);
+      }
+      left->children.insert(left->children.end(), child->children.begin(),
+                            child->children.end());
+      left->count += child->count;
+    }
+    child->children.clear();
+    delete child;
+    n->children.erase(n->children.begin() + ci);
+    n->keys.erase(n->keys.begin() + (ci - 1));
+  } else {
+    LTREE_CHECK(right != nullptr);
+    // Merge right into child.
+    if (child->leaf) {
+      child->keys.insert(child->keys.end(), right->keys.begin(),
+                         right->keys.end());
+      child->values.insert(child->values.end(), right->values.begin(),
+                           right->values.end());
+      child->count = child->keys.size();
+    } else {
+      child->keys.push_back(MinKey(right->children.front()));
+      for (size_t i = 0; i + 1 < right->children.size(); ++i) {
+        child->keys.push_back(right->keys[i]);
+      }
+      child->children.insert(child->children.end(), right->children.begin(),
+                             right->children.end());
+      child->count += right->count;
+    }
+    right->children.clear();
+    delete right;
+    n->children.erase(n->children.begin() + ci + 1);
+    n->keys.erase(n->keys.begin() + ci);
+  }
+}
+
+Status DeleteRec(Node* n, Label key, uint32_t order) {
+  if (n->leaf) {
+    auto it = std::lower_bound(n->keys.begin(), n->keys.end(), key);
+    if (it == n->keys.end() || *it != key) {
+      return Status::NotFound("key not present");
+    }
+    const size_t pos = static_cast<size_t>(it - n->keys.begin());
+    n->keys.erase(it);
+    n->values.erase(n->values.begin() + pos);
+    n->count = n->keys.size();
+    return Status::OK();
+  }
+  const uint32_t ci = ChildIndex(n, key);
+  LTREE_RETURN_IF_ERROR(DeleteRec(n->children[ci], key, order));
+  --n->count;
+  // Deleting the subtree minimum stales the separator left of ci; fix it
+  // while children[ci] still exists (FixUnderflow may merge it away).
+  if (ci > 0) {
+    n->keys[ci - 1] = MinKey(n->children[ci]);
+  }
+  FixUnderflow(n, ci, order);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status CountedBTree::Delete(Label key) {
+  if (root_ == nullptr) return Status::NotFound("empty tree");
+  LTREE_RETURN_IF_ERROR(DeleteRec(root_, key, order_));
+  if (!root_->leaf && root_->children.size() == 1) {
+    Node* only = root_->children.front();
+    root_->children.clear();
+    delete root_;
+    root_ = only;
+  } else if (root_->leaf && root_->keys.empty()) {
+    delete root_;
+    root_ = nullptr;
+  }
+  return Status::OK();
+}
+
+// --------------------------------------------------------------------------
+// Order statistics
+// --------------------------------------------------------------------------
+
+uint64_t CountedBTree::CountLess(Label key) const {
+  const Node* n = root_;
+  if (n == nullptr) return 0;
+  uint64_t rank = 0;
+  while (!n->leaf) {
+    const uint32_t ci = ChildIndex(n, key);
+    for (uint32_t i = 0; i < ci; ++i) rank += n->children[i]->count;
+    n = n->children[ci];
+  }
+  rank += static_cast<uint64_t>(
+      std::lower_bound(n->keys.begin(), n->keys.end(), key) -
+      n->keys.begin());
+  return rank;
+}
+
+uint64_t CountedBTree::RangeCount(Label lo, Label hi) const {
+  if (lo >= hi) return 0;
+  return CountLess(hi) - CountLess(lo);
+}
+
+Result<Entry> CountedBTree::Select(uint64_t rank) const {
+  if (root_ == nullptr || rank >= root_->count) {
+    return Status::OutOfRange(
+        StrFormat("rank %llu >= size %llu",
+                  static_cast<unsigned long long>(rank),
+                  static_cast<unsigned long long>(size())));
+  }
+  const Node* n = root_;
+  while (!n->leaf) {
+    for (const Node* c : n->children) {
+      if (rank < c->count) {
+        n = c;
+        break;
+      }
+      rank -= c->count;
+    }
+  }
+  return Entry{n->keys[rank], n->values[rank]};
+}
+
+Result<Entry> CountedBTree::LowerBound(Label key) const {
+  const uint64_t rank = CountLess(key);
+  if (root_ == nullptr || rank >= root_->count) {
+    return Status::NotFound("no key >= bound");
+  }
+  return Select(rank);
+}
+
+Result<Entry> CountedBTree::Predecessor(Label key) const {
+  const uint64_t rank = CountLess(key);
+  if (rank == 0) return Status::NotFound("no key < bound");
+  return Select(rank - 1);
+}
+
+// --------------------------------------------------------------------------
+// Iteration / scans
+// --------------------------------------------------------------------------
+
+Label CountedBTree::Iterator::key() const {
+  const Node* leaf = static_cast<const Node*>(stack_.back().node);
+  return leaf->keys[stack_.back().index];
+}
+
+uint64_t CountedBTree::Iterator::value() const {
+  const Node* leaf = static_cast<const Node*>(stack_.back().node);
+  return leaf->values[stack_.back().index];
+}
+
+void CountedBTree::Iterator::Next() {
+  LTREE_CHECK(Valid());
+  Frame& top = stack_.back();
+  const Node* leaf = static_cast<const Node*>(top.node);
+  if (top.index + 1 < leaf->keys.size()) {
+    ++top.index;
+    return;
+  }
+  stack_.pop_back();
+  // Ascend to the first ancestor with an unvisited right child.
+  while (!stack_.empty()) {
+    Frame& frame = stack_.back();
+    const Node* n = static_cast<const Node*>(frame.node);
+    if (frame.index + 1 < n->children.size()) {
+      ++frame.index;
+      // Descend leftmost from that child.
+      const Node* cur = n->children[frame.index];
+      while (!cur->leaf) {
+        stack_.push_back({cur, 0});
+        cur = cur->children.front();
+      }
+      stack_.push_back({cur, 0});
+      return;
+    }
+    stack_.pop_back();
+  }
+}
+
+CountedBTree::Iterator CountedBTree::Begin() const {
+  Iterator it;
+  const Node* cur = root_;
+  if (cur == nullptr) return it;
+  while (!cur->leaf) {
+    it.stack_.push_back({cur, 0});
+    cur = cur->children.front();
+  }
+  it.stack_.push_back({cur, 0});
+  return it;
+}
+
+CountedBTree::Iterator CountedBTree::Seek(Label key) const {
+  Iterator it;
+  const Node* cur = root_;
+  if (cur == nullptr) return it;
+  while (!cur->leaf) {
+    const uint32_t ci = ChildIndex(cur, key);
+    it.stack_.push_back({cur, ci});
+    cur = cur->children[ci];
+  }
+  const uint32_t pos = static_cast<uint32_t>(
+      std::lower_bound(cur->keys.begin(), cur->keys.end(), key) -
+      cur->keys.begin());
+  if (pos < cur->keys.size()) {
+    it.stack_.push_back({cur, pos});
+    return it;
+  }
+  // Key is past this leaf: step to the successor leaf via the stack.
+  it.stack_.push_back({cur, pos == 0 ? 0u : pos - 1});
+  if (cur->keys.empty()) {
+    it.stack_.clear();
+    return it;
+  }
+  it.Next();
+  return it;
+}
+
+std::vector<Entry> CountedBTree::Scan(Label lo, Label hi) const {
+  std::vector<Entry> out;
+  for (Iterator it = Seek(lo); it.Valid() && it.key() < hi; it.Next()) {
+    out.push_back(Entry{it.key(), it.value()});
+  }
+  return out;
+}
+
+std::vector<Entry> CountedBTree::ScanAll() const {
+  std::vector<Entry> out;
+  out.reserve(size());
+  for (Iterator it = Begin(); it.Valid(); it.Next()) {
+    out.push_back(Entry{it.key(), it.value()});
+  }
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// Bulk operations
+// --------------------------------------------------------------------------
+
+Status CountedBTree::BulkBuild(std::span<const Entry> entries) {
+  for (size_t i = 1; i < entries.size(); ++i) {
+    if (entries[i - 1].key >= entries[i].key) {
+      return Status::InvalidArgument("entries must be sorted and unique");
+    }
+  }
+  Clear();
+  if (entries.empty()) return Status::OK();
+
+  // Build the leaf level at ~3/4 fill (leaving slack for inserts), then
+  // stack internal levels on top.
+  const size_t target = std::max<size_t>(order_ * 3 / 4, order_ / 2);
+  std::vector<Node*> level;
+  size_t i = 0;
+  while (i < entries.size()) {
+    size_t len = std::min(target, entries.size() - i);
+    // Avoid an underfull final leaf: absorb a small tail into this chunk if
+    // it fits, otherwise split the combined run evenly (each half is then
+    // >= order/2 because the run exceeds order).
+    const size_t remaining = entries.size() - i - len;
+    if (remaining > 0 && remaining < order_ / 2) {
+      if (len + remaining <= order_) {
+        len += remaining;
+      } else {
+        len = (len + remaining) / 2;
+      }
+    }
+    Node* leaf = new Node;
+    leaf->leaf = true;
+    for (size_t j = i; j < i + len; ++j) {
+      leaf->keys.push_back(entries[j].key);
+      leaf->values.push_back(entries[j].value);
+    }
+    leaf->count = leaf->keys.size();
+    level.push_back(leaf);
+    i += len;
+  }
+
+  while (level.size() > 1) {
+    std::vector<Node*> next;
+    size_t j = 0;
+    while (j < level.size()) {
+      size_t len = std::min(target, level.size() - j);
+      const size_t remaining = level.size() - j - len;
+      if (remaining > 0 && remaining < order_ / 2) {
+        if (len + remaining <= order_) {
+          len += remaining;
+        } else {
+          len = (len + remaining) / 2;
+        }
+      }
+      Node* node = new Node;
+      node->leaf = false;
+      for (size_t k = j; k < j + len; ++k) {
+        node->children.push_back(level[k]);
+        node->count += level[k]->count;
+        if (k > j) node->keys.push_back(MinKey(level[k]));
+      }
+      next.push_back(node);
+      j += len;
+    }
+    level = std::move(next);
+  }
+  root_ = level.front();
+  return Status::OK();
+}
+
+Status CountedBTree::ReplaceRange(Label lo, Label hi,
+                                  std::span<const Entry> entries) {
+  if (lo >= hi) return Status::InvalidArgument("empty range");
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].key < lo || entries[i].key >= hi) {
+      return Status::InvalidArgument("replacement key outside [lo, hi)");
+    }
+    if (i > 0 && entries[i - 1].key >= entries[i].key) {
+      return Status::InvalidArgument("entries must be sorted and unique");
+    }
+  }
+  // Remove the old keys, then insert the new ones. Both touch O(k) entries
+  // at O(log n) each, matching the Section 4.2 trade-off discussion.
+  std::vector<Label> victims;
+  for (Iterator it = Seek(lo); it.Valid() && it.key() < hi; it.Next()) {
+    victims.push_back(it.key());
+  }
+  for (Label k : victims) {
+    LTREE_RETURN_IF_ERROR(Delete(k));
+  }
+  for (const Entry& e : entries) {
+    LTREE_RETURN_IF_ERROR(Insert(e.key, e.value));
+  }
+  return Status::OK();
+}
+
+// --------------------------------------------------------------------------
+// Invariants
+// --------------------------------------------------------------------------
+
+namespace {
+
+Status CheckNode(const Node* n, uint32_t order, bool is_root, int depth,
+                 int* leaf_depth) {
+  const size_t sz = n->leaf ? n->keys.size() : n->children.size();
+  if (sz > order) return Status::Corruption("node over capacity");
+  if (!is_root && sz < order / 2) {
+    return Status::Corruption("node under minimum occupancy");
+  }
+  if (n->leaf) {
+    if (n->count != n->keys.size()) {
+      return Status::Corruption("leaf count mismatch");
+    }
+    if (n->keys.size() != n->values.size()) {
+      return Status::Corruption("leaf keys/values size mismatch");
+    }
+    if (!std::is_sorted(n->keys.begin(), n->keys.end())) {
+      return Status::Corruption("leaf keys not sorted");
+    }
+    for (size_t i = 1; i < n->keys.size(); ++i) {
+      if (n->keys[i - 1] == n->keys[i]) {
+        return Status::Corruption("duplicate key");
+      }
+    }
+    if (*leaf_depth == -1) {
+      *leaf_depth = depth;
+    } else if (*leaf_depth != depth) {
+      return Status::Corruption("leaves at different depths");
+    }
+    return Status::OK();
+  }
+  if (is_root && n->children.size() < 2) {
+    return Status::Corruption("internal root with < 2 children");
+  }
+  if (n->keys.size() + 1 != n->children.size()) {
+    return Status::Corruption("separator/child count mismatch");
+  }
+  uint64_t total = 0;
+  for (size_t i = 0; i < n->children.size(); ++i) {
+    LTREE_RETURN_IF_ERROR(
+        CheckNode(n->children[i], order, false, depth + 1, leaf_depth));
+    total += n->children[i]->count;
+    if (i > 0 && n->keys[i - 1] != MinKey(n->children[i])) {
+      return Status::Corruption("separator != min key of right child");
+    }
+  }
+  if (total != n->count) return Status::Corruption("internal count mismatch");
+  return Status::OK();
+}
+
+}  // namespace
+
+Status CountedBTree::CheckInvariants() const {
+  if (root_ == nullptr) return Status::OK();
+  int leaf_depth = -1;
+  return CheckNode(root_, order_, true, 0, &leaf_depth);
+}
+
+}  // namespace obtree
+}  // namespace ltree

@@ -1,0 +1,141 @@
+// Counted (order-statistic) B+-tree.
+//
+// Section 4.2 of the paper runs the L-Tree maintenance algorithm without a
+// materialized tree: "if the leaf labels are maintained in a B-tree whose
+// internal nodes also maintain counts, such range queries can be executed
+// efficiently (in logarithmic time)". This module is that substrate: a
+// B+-tree keyed by Label whose internal nodes carry subtree entry counts,
+// supporting logarithmic rank/select/range-count plus ordered scans and
+// range replacement (the "updated in place" relabeling step).
+//
+// Keys are unique. Values are opaque uint64 payloads (the virtual L-Tree
+// stores a tag id plus a tombstone bit).
+
+#ifndef LTREE_OBTREE_COUNTED_BTREE_H_
+#define LTREE_OBTREE_COUNTED_BTREE_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/params.h"
+
+namespace ltree {
+namespace obtree {
+
+/// One key/value entry.
+struct Entry {
+  Label key;
+  uint64_t value;
+
+  bool operator==(const Entry& other) const = default;
+};
+
+class CountedBTree {
+ public:
+  /// `order` = max entries per leaf and max children per internal node.
+  /// Minimum occupancy is order/2 (root exempt).
+  explicit CountedBTree(uint32_t order = 64);
+  ~CountedBTree();
+
+  CountedBTree(const CountedBTree&) = delete;
+  CountedBTree& operator=(const CountedBTree&) = delete;
+  CountedBTree(CountedBTree&& other) noexcept;
+  CountedBTree& operator=(CountedBTree&& other) noexcept;
+
+  // ------------------------------------------------------------- mutations
+
+  /// Inserts a new entry; AlreadyExists if the key is present.
+  Status Insert(Label key, uint64_t value);
+
+  /// Updates the value of an existing key; NotFound otherwise.
+  Status Update(Label key, uint64_t value);
+
+  /// Removes a key; NotFound if absent.
+  Status Delete(Label key);
+
+  /// Replaces all entries with keys in [lo, hi) by `entries` (which must be
+  /// sorted by key, unique, and lie within [lo, hi)). This is the virtual
+  /// L-Tree's bulk relabel primitive.
+  Status ReplaceRange(Label lo, Label hi, std::span<const Entry> entries);
+
+  /// Rebuilds the tree from sorted unique entries (replacing any content).
+  Status BulkBuild(std::span<const Entry> entries);
+
+  /// Removes everything.
+  void Clear();
+
+  // --------------------------------------------------------------- queries
+
+  /// Number of entries.
+  uint64_t size() const;
+
+  Result<uint64_t> Lookup(Label key) const;
+  bool Contains(Label key) const;
+
+  /// Number of keys strictly below `key`. O(log n).
+  uint64_t CountLess(Label key) const;
+
+  /// Number of keys in [lo, hi). O(log n).
+  uint64_t RangeCount(Label lo, Label hi) const;
+
+  /// The rank-th smallest entry (rank 0 = smallest); OutOfRange if rank >=
+  /// size(). O(log n).
+  Result<Entry> Select(uint64_t rank) const;
+
+  /// Smallest entry with key >= `key`; NotFound if none.
+  Result<Entry> LowerBound(Label key) const;
+
+  /// Largest entry with key < `key`; NotFound if none.
+  Result<Entry> Predecessor(Label key) const;
+
+  /// All entries with keys in [lo, hi), in key order.
+  std::vector<Entry> Scan(Label lo, Label hi) const;
+
+  /// All entries in key order.
+  std::vector<Entry> ScanAll() const;
+
+  /// Ordered forward iterator.
+  class Iterator {
+   public:
+    bool Valid() const { return !stack_.empty(); }
+    Label key() const;
+    uint64_t value() const;
+    void Next();
+
+   private:
+    friend class CountedBTree;
+    struct Frame {
+      const void* node;
+      uint32_t index;
+    };
+    std::vector<Frame> stack_;
+  };
+
+  /// Iterator at the smallest key.
+  Iterator Begin() const;
+  /// Iterator at the smallest key >= `key`.
+  Iterator Seek(Label key) const;
+
+  /// Validates structural invariants (occupancy, key ordering, counts,
+  /// uniform leaf depth).
+  Status CheckInvariants() const;
+
+  uint32_t order() const { return order_; }
+
+  /// Opaque node type (defined in the .cc; public so file-local helpers can
+  /// name it).
+  struct Node;
+
+ private:
+  Node* root_ = nullptr;
+  uint32_t order_;
+};
+
+}  // namespace obtree
+}  // namespace ltree
+
+#endif  // LTREE_OBTREE_COUNTED_BTREE_H_

@@ -1,0 +1,51 @@
+// Stack-based structural join over interval labels.
+//
+// This is the join the paper's Section 1 motivates: with order-preserving
+// (start, end) labels, "a // d" is answered by one merge pass over the two
+// tag lists sorted by start label — O(|A| + |D| + output) — instead of a
+// chain of parent-id self-joins. The algorithm is the classic stack-tree
+// join (Al-Khalifa et al.), exploiting that regions never partially
+// overlap.
+
+#ifndef LTREE_QUERY_STRUCTURAL_JOIN_H_
+#define LTREE_QUERY_STRUCTURAL_JOIN_H_
+
+#include <utility>
+#include <vector>
+
+#include "query/node_table.h"
+
+namespace ltree {
+namespace query {
+
+/// Result pair: (ancestor row, descendant row).
+using JoinPair = std::pair<const NodeRow*, const NodeRow*>;
+
+/// All (a, d) with a.region containing d.region. Both inputs must be sorted
+/// by region.start (as NodeTable::ByTag returns them).
+std::vector<JoinPair> AncestorDescendantJoin(
+    const std::vector<const NodeRow*>& ancestors,
+    const std::vector<const NodeRow*>& descendants);
+
+/// All (p, c) where additionally c.level == p.level + 1.
+std::vector<JoinPair> ParentChildJoin(
+    const std::vector<const NodeRow*>& parents,
+    const std::vector<const NodeRow*>& children);
+
+/// Distinct descendants with at least one ancestor in `ancestors`
+/// (projection of AncestorDescendantJoin on the descendant side), sorted by
+/// start label.
+std::vector<const NodeRow*> DescendantsSemiJoin(
+    const std::vector<const NodeRow*>& ancestors,
+    const std::vector<const NodeRow*>& descendants);
+
+/// Distinct children with parent (level-constrained containment) in
+/// `parents`, sorted by start label.
+std::vector<const NodeRow*> ChildrenSemiJoin(
+    const std::vector<const NodeRow*>& parents,
+    const std::vector<const NodeRow*>& children);
+
+}  // namespace query
+}  // namespace ltree
+
+#endif  // LTREE_QUERY_STRUCTURAL_JOIN_H_

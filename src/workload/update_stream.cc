@@ -1,0 +1,71 @@
+#include "workload/update_stream.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace ltree {
+namespace workload {
+
+const char* StreamKindName(StreamKind kind) {
+  switch (kind) {
+    case StreamKind::kUniform:
+      return "uniform";
+    case StreamKind::kAppend:
+      return "append";
+    case StreamKind::kPrepend:
+      return "prepend";
+    case StreamKind::kHotspot:
+      return "hotspot";
+    case StreamKind::kMixed:
+      return "mixed";
+  }
+  return "unknown";
+}
+
+UpdateStream::UpdateStream(const StreamOptions& options)
+    : options_(options), rng_(options.seed) {}
+
+ListOp UpdateStream::Next(uint64_t live_size) {
+  LTREE_CHECK(live_size > 0);
+  ListOp op;
+  switch (options_.kind) {
+    case StreamKind::kUniform:
+      op.kind = ListOp::Kind::kInsertAfter;
+      op.rank = rng_.Uniform(live_size);
+      break;
+    case StreamKind::kAppend:
+      op.kind = ListOp::Kind::kInsertAfter;
+      op.rank = live_size - 1;
+      break;
+    case StreamKind::kPrepend:
+      op.kind = ListOp::Kind::kInsertBefore;
+      op.rank = 0;
+      break;
+    case StreamKind::kHotspot: {
+      // Zipf distance from a hotspot at the middle of the list.
+      ZipfSampler zipf(std::max<uint64_t>(live_size / 2, 1),
+                       options_.zipf_theta);
+      const uint64_t offset = zipf.Sample(&rng_);
+      const uint64_t center = live_size / 2;
+      op.kind = ListOp::Kind::kInsertAfter;
+      op.rank = rng_.Bernoulli(0.5)
+                    ? std::min(center + offset, live_size - 1)
+                    : center - std::min(offset, center);
+      break;
+    }
+    case StreamKind::kMixed:
+      if (live_size > 2 && rng_.Bernoulli(options_.erase_fraction)) {
+        op.kind = ListOp::Kind::kErase;
+        op.rank = rng_.Uniform(live_size);
+      } else {
+        op.kind = ListOp::Kind::kInsertAfter;
+        op.rank = rng_.Uniform(live_size);
+      }
+      break;
+  }
+  return op;
+}
+
+}  // namespace workload
+}  // namespace ltree

@@ -1,0 +1,61 @@
+// Rank-addressed update streams for driving order maintainers.
+//
+// Every scheme in listlab is driven by positions ("insert after the r-th
+// live item"), which keeps op streams scheme-agnostic. Distributions:
+//  * kUniform — insertion point uniform over the list (the random-update
+//    model of the paper's analysis);
+//  * kAppend  — document-order loading (always at the tail);
+//  * kPrepend — always at the head (worst case for sequential labels);
+//  * kHotspot — Zipf-distributed insertion point around a fixed region,
+//    modelling the "areas with heavy insertion activity" the paper's
+//    conclusion highlights;
+//  * kMixed   — uniform inserts with a configurable share of deletions.
+
+#ifndef LTREE_WORKLOAD_UPDATE_STREAM_H_
+#define LTREE_WORKLOAD_UPDATE_STREAM_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/random.h"
+
+namespace ltree {
+namespace workload {
+
+struct ListOp {
+  enum class Kind { kInsertAfter, kInsertBefore, kErase };
+  Kind kind = Kind::kInsertAfter;
+  /// Rank of the anchor item among live items at the time of the op.
+  uint64_t rank = 0;
+};
+
+enum class StreamKind { kUniform, kAppend, kPrepend, kHotspot, kMixed };
+
+const char* StreamKindName(StreamKind kind);
+
+struct StreamOptions {
+  StreamKind kind = StreamKind::kUniform;
+  /// Zipf skew for kHotspot (0 = uniform, typical 0.9-1.2).
+  double zipf_theta = 0.99;
+  /// Deletion share for kMixed.
+  double erase_fraction = 0.2;
+  uint64_t seed = 7;
+};
+
+/// Generates ops against a list whose current size the caller reports.
+class UpdateStream {
+ public:
+  explicit UpdateStream(const StreamOptions& options);
+
+  /// Next operation for a list with `live_size` (>0) live items.
+  ListOp Next(uint64_t live_size);
+
+ private:
+  StreamOptions options_;
+  Rng rng_;
+};
+
+}  // namespace workload
+}  // namespace ltree
+
+#endif  // LTREE_WORKLOAD_UPDATE_STREAM_H_

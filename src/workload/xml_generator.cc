@@ -1,0 +1,109 @@
+#include "workload/xml_generator.h"
+
+#include <vector>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "xml/serializer.h"
+
+namespace ltree {
+namespace workload {
+
+xml::Document GenerateRandomDocument(const RandomDocOptions& options) {
+  LTREE_CHECK(options.num_elements >= 1);
+  Rng rng(options.seed);
+  xml::Document doc;
+  xml::Node* root = doc.CreateElement("root");
+  LTREE_CHECK_OK(doc.SetRoot(root));
+
+  struct Candidate {
+    xml::Node* node;
+    uint32_t depth;
+  };
+  std::vector<Candidate> attachable{{root, 0}};
+  uint64_t text_counter = 0;
+
+  for (uint64_t i = 1; i < options.num_elements; ++i) {
+    // Pick a parent among nodes that may still take children.
+    const size_t pick = static_cast<size_t>(rng.Uniform(attachable.size()));
+    Candidate parent = attachable[pick];
+    const uint32_t tag_id =
+        static_cast<uint32_t>(rng.Uniform(options.tag_vocabulary));
+    xml::Node* child = doc.CreateElement(StrFormat("tag%u", tag_id));
+    LTREE_CHECK_OK(doc.AppendChild(parent.node, child));
+    if (parent.depth + 1 < options.max_depth) {
+      attachable.push_back({child, parent.depth + 1});
+    }
+    if (rng.Bernoulli(options.text_probability)) {
+      LTREE_CHECK_OK(doc.AppendChild(
+          child, doc.CreateText(StrFormat(
+                     "text%llu",
+                     static_cast<unsigned long long>(text_counter++)))));
+    }
+  }
+  return doc;
+}
+
+xml::Document GenerateCatalog(uint64_t books, uint32_t chapters_per_book,
+                              uint64_t seed) {
+  Rng rng(seed);
+  xml::Document doc;
+  xml::Node* site = doc.CreateElement("site");
+  LTREE_CHECK_OK(doc.SetRoot(site));
+  xml::Node* books_el = doc.CreateElement("books");
+  xml::Node* authors_el = doc.CreateElement("authors");
+  LTREE_CHECK_OK(doc.AppendChild(site, books_el));
+  LTREE_CHECK_OK(doc.AppendChild(site, authors_el));
+
+  const uint64_t num_authors = std::max<uint64_t>(1, books / 4 + 1);
+  for (uint64_t a = 0; a < num_authors; ++a) {
+    xml::Node* author = doc.CreateElement("author");
+    author->attrs.emplace_back(
+        "id", StrFormat("a%llu", static_cast<unsigned long long>(a)));
+    xml::Node* name = doc.CreateElement("name");
+    LTREE_CHECK_OK(doc.AppendChild(
+        name, doc.CreateText(StrFormat(
+                  "Author %llu", static_cast<unsigned long long>(a)))));
+    LTREE_CHECK_OK(doc.AppendChild(author, name));
+    LTREE_CHECK_OK(doc.AppendChild(authors_el, author));
+  }
+
+  for (uint64_t b = 0; b < books; ++b) {
+    xml::Node* book = doc.CreateElement("book");
+    book->attrs.emplace_back(
+        "id", StrFormat("b%llu", static_cast<unsigned long long>(b)));
+    book->attrs.emplace_back(
+        "author", StrFormat("a%llu", static_cast<unsigned long long>(
+                                         rng.Uniform(num_authors))));
+    xml::Node* title = doc.CreateElement("title");
+    LTREE_CHECK_OK(doc.AppendChild(
+        title, doc.CreateText(StrFormat(
+                   "Book %llu", static_cast<unsigned long long>(b)))));
+    LTREE_CHECK_OK(doc.AppendChild(book, title));
+    for (uint32_t c = 0; c < chapters_per_book; ++c) {
+      xml::Node* chapter = doc.CreateElement("chapter");
+      xml::Node* ctitle = doc.CreateElement("title");
+      LTREE_CHECK_OK(doc.AppendChild(
+          ctitle, doc.CreateText(StrFormat("Chapter %u", c))));
+      LTREE_CHECK_OK(doc.AppendChild(chapter, ctitle));
+      xml::Node* para = doc.CreateElement("para");
+      LTREE_CHECK_OK(doc.AppendChild(
+          para,
+          doc.CreateText(StrFormat(
+              "Content %llu.%u",
+              static_cast<unsigned long long>(b), c))));
+      LTREE_CHECK_OK(doc.AppendChild(chapter, para));
+      LTREE_CHECK_OK(doc.AppendChild(book, chapter));
+    }
+    LTREE_CHECK_OK(doc.AppendChild(books_el, book));
+  }
+  return doc;
+}
+
+std::string GenerateCatalogXml(uint64_t books, uint32_t chapters_per_book,
+                               uint64_t seed) {
+  return xml::Serialize(GenerateCatalog(books, chapters_per_book, seed));
+}
+
+}  // namespace workload
+}  // namespace ltree

@@ -1,0 +1,102 @@
+#include "xml/serializer.h"
+
+#include <sstream>
+
+namespace ltree {
+namespace xml {
+
+std::string EscapeText(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void Indent(std::ostringstream* os, const SerializeOptions& opts, int depth) {
+  if (opts.indent > 0) {
+    for (int i = 0; i < depth * opts.indent; ++i) *os << ' ';
+  }
+}
+
+void Newline(std::ostringstream* os, const SerializeOptions& opts) {
+  if (opts.indent > 0) *os << '\n';
+}
+
+void WriteNode(const Node& n, const SerializeOptions& opts, int depth,
+               std::ostringstream* os) {
+  if (n.IsText()) {
+    Indent(os, opts, depth);
+    *os << EscapeText(n.text);
+    Newline(os, opts);
+    return;
+  }
+  Indent(os, opts, depth);
+  *os << '<' << n.tag;
+  for (const auto& [k, v] : n.attrs) {
+    *os << ' ' << k << "=\"" << EscapeText(v) << '"';
+  }
+  if (n.first_child == nullptr && opts.self_close_empty) {
+    *os << "/>";
+    Newline(os, opts);
+    return;
+  }
+  *os << '>';
+  // Compact mode for a single text child keeps <a>text</a> on one line.
+  const bool single_text_child =
+      n.first_child != nullptr && n.first_child == n.last_child &&
+      n.first_child->IsText();
+  if (single_text_child) {
+    *os << EscapeText(n.first_child->text);
+    *os << "</" << n.tag << '>';
+    Newline(os, opts);
+    return;
+  }
+  Newline(os, opts);
+  for (const Node* c = n.first_child; c != nullptr; c = c->next_sibling) {
+    WriteNode(*c, opts, depth + 1, os);
+  }
+  Indent(os, opts, depth);
+  *os << "</" << n.tag << '>';
+  Newline(os, opts);
+}
+
+}  // namespace
+
+std::string SerializeNode(const Node& node, const SerializeOptions& options) {
+  std::ostringstream os;
+  WriteNode(node, options, 0, &os);
+  std::string out = os.str();
+  // Trim the trailing newline pretty-printing leaves behind.
+  if (!out.empty() && out.back() == '\n') out.pop_back();
+  return out;
+}
+
+std::string Serialize(const Document& doc, const SerializeOptions& options) {
+  if (doc.root() == nullptr) return "";
+  return SerializeNode(*doc.root(), options);
+}
+
+}  // namespace xml
+}  // namespace ltree

@@ -1,0 +1,34 @@
+// XML serialization (round-trip counterpart of parser.h).
+
+#ifndef LTREE_XML_SERIALIZER_H_
+#define LTREE_XML_SERIALIZER_H_
+
+#include <string>
+
+#include "xml/xml_node.h"
+
+namespace ltree {
+namespace xml {
+
+struct SerializeOptions {
+  /// Pretty-print with this many spaces per depth level; 0 = compact.
+  int indent = 0;
+  /// Collapse childless elements to <tag/>.
+  bool self_close_empty = true;
+};
+
+/// Serializes an attached document (entity-escaping text and attributes).
+std::string Serialize(const Document& doc,
+                      const SerializeOptions& options = SerializeOptions());
+
+/// Serializes the subtree rooted at `node`.
+std::string SerializeNode(const Node& node,
+                          const SerializeOptions& options = SerializeOptions());
+
+/// Escapes &, <, >, " and ' for use in text/attribute content.
+std::string EscapeText(std::string_view text);
+
+}  // namespace xml
+}  // namespace ltree
+
+#endif  // LTREE_XML_SERIALIZER_H_

@@ -1,0 +1,102 @@
+#include "common/math_util.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace ltree {
+namespace {
+
+TEST(CheckedMulTest, Basic) {
+  EXPECT_EQ(CheckedMul(3, 4), 12u);
+  EXPECT_EQ(CheckedMul(0, 123456), 0u);
+  EXPECT_EQ(CheckedMul(123456, 0), 0u);
+}
+
+TEST(CheckedMulTest, Overflow) {
+  const uint64_t big = std::numeric_limits<uint64_t>::max();
+  EXPECT_FALSE(CheckedMul(big, 2).has_value());
+  EXPECT_EQ(CheckedMul(big, 1), big);
+  EXPECT_FALSE(CheckedMul(uint64_t{1} << 32, uint64_t{1} << 32).has_value());
+  EXPECT_EQ(CheckedMul(uint64_t{1} << 31, uint64_t{1} << 32),
+            uint64_t{1} << 63);
+}
+
+TEST(CheckedAddTest, Basic) {
+  EXPECT_EQ(CheckedAdd(1, 2), 3u);
+  const uint64_t big = std::numeric_limits<uint64_t>::max();
+  EXPECT_EQ(CheckedAdd(big, 0), big);
+  EXPECT_FALSE(CheckedAdd(big, 1).has_value());
+}
+
+TEST(CheckedPowTest, Basic) {
+  EXPECT_EQ(CheckedPow(2, 10), 1024u);
+  EXPECT_EQ(CheckedPow(5, 0), 1u);
+  EXPECT_EQ(CheckedPow(0, 0), 1u);
+  EXPECT_EQ(CheckedPow(0, 5), 0u);
+  EXPECT_EQ(CheckedPow(1, 1000), 1u);
+  EXPECT_EQ(CheckedPow(3, 3), 27u);
+  EXPECT_EQ(CheckedPow(10, 19), 10000000000000000000ull);
+}
+
+TEST(CheckedPowTest, Overflow) {
+  EXPECT_FALSE(CheckedPow(2, 64).has_value());
+  EXPECT_EQ(CheckedPow(2, 63), uint64_t{1} << 63);
+  EXPECT_FALSE(CheckedPow(10, 20).has_value());
+  EXPECT_FALSE(CheckedPow(5, 30).has_value());
+  EXPECT_EQ(CheckedPow(5, 27), 7450580596923828125ull);
+}
+
+TEST(PowOrCapacityTest, ErrorsMapToCapacity) {
+  EXPECT_TRUE(PowOrCapacity(2, 10).ok());
+  EXPECT_EQ(*PowOrCapacity(2, 10), 1024u);
+  auto r = PowOrCapacity(2, 64);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCapacityExceeded());
+}
+
+TEST(FloorLog2Test, Basic) {
+  EXPECT_EQ(FloorLog2(1), 0u);
+  EXPECT_EQ(FloorLog2(2), 1u);
+  EXPECT_EQ(FloorLog2(3), 1u);
+  EXPECT_EQ(FloorLog2(4), 2u);
+  EXPECT_EQ(FloorLog2(1023), 9u);
+  EXPECT_EQ(FloorLog2(1024), 10u);
+  EXPECT_EQ(FloorLog2(std::numeric_limits<uint64_t>::max()), 63u);
+}
+
+TEST(CeilLogTest, Basic) {
+  EXPECT_EQ(CeilLog(2, 1), 0u);
+  EXPECT_EQ(CeilLog(2, 2), 1u);
+  EXPECT_EQ(CeilLog(2, 3), 2u);
+  EXPECT_EQ(CeilLog(2, 8), 3u);
+  EXPECT_EQ(CeilLog(2, 9), 4u);
+  EXPECT_EQ(CeilLog(3, 27), 3u);
+  EXPECT_EQ(CeilLog(3, 28), 4u);
+  EXPECT_EQ(CeilLog(10, 1000000), 6u);
+}
+
+TEST(CeilLogTest, LargeValuesDoNotOverflow) {
+  // 2^63 < max < 2^64: the answer is 64 even though 2^64 overflows.
+  EXPECT_EQ(CeilLog(2, std::numeric_limits<uint64_t>::max()), 64u);
+}
+
+TEST(CeilDivTest, Basic) {
+  EXPECT_EQ(CeilDiv(0, 5), 0u);
+  EXPECT_EQ(CeilDiv(1, 5), 1u);
+  EXPECT_EQ(CeilDiv(5, 5), 1u);
+  EXPECT_EQ(CeilDiv(6, 5), 2u);
+  EXPECT_EQ(CeilDiv(10, 5), 2u);
+}
+
+TEST(BitWidthTest, Basic) {
+  EXPECT_EQ(BitWidth(0), 1u);
+  EXPECT_EQ(BitWidth(1), 1u);
+  EXPECT_EQ(BitWidth(2), 2u);
+  EXPECT_EQ(BitWidth(255), 8u);
+  EXPECT_EQ(BitWidth(256), 9u);
+  EXPECT_EQ(BitWidth(std::numeric_limits<uint64_t>::max()), 64u);
+}
+
+}  // namespace
+}  // namespace ltree

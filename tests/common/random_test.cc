@@ -1,0 +1,153 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace ltree {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next64(), b.Next64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next64() == b.Next64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformInBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+  // bound 1 always yields 0
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.Uniform(1), 0u);
+}
+
+TEST(RngTest, UniformCoversAllValues) {
+  Rng rng(42);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    seen[static_cast<size_t>(rng.Uniform(10))]++;
+  }
+  for (int count : seen) {
+    EXPECT_GT(count, 700);  // each value ~1000 expected
+    EXPECT_LT(count, 1300);
+  }
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t v = rng.UniformRange(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(17);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  Rng rng(19);
+  ZipfSampler zipf(100, 0.0);
+  std::vector<int> seen(100, 0);
+  for (int i = 0; i < 100000; ++i) {
+    uint64_t v = zipf.Sample(&rng);
+    ASSERT_LT(v, 100u);
+    seen[static_cast<size_t>(v)]++;
+  }
+  for (int count : seen) {
+    EXPECT_GT(count, 600);
+    EXPECT_LT(count, 1400);
+  }
+}
+
+TEST(ZipfTest, SkewConcentratesOnSmallValues) {
+  Rng rng(23);
+  ZipfSampler zipf(1000, 1.2);
+  int in_top10 = 0;
+  const int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    uint64_t v = zipf.Sample(&rng);
+    ASSERT_LT(v, 1000u);
+    if (v < 10) ++in_top10;
+  }
+  // With theta=1.2, the top 10 of 1000 values get well over half the mass.
+  EXPECT_GT(in_top10, kSamples / 2);
+}
+
+TEST(ZipfTest, HigherThetaMoreSkew) {
+  Rng rng(29);
+  ZipfSampler mild(1000, 0.5);
+  ZipfSampler heavy(1000, 1.5);
+  int mild_zero = 0;
+  int heavy_zero = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (mild.Sample(&rng) == 0) ++mild_zero;
+    if (heavy.Sample(&rng) == 0) ++heavy_zero;
+  }
+  EXPECT_LT(mild_zero, heavy_zero);
+}
+
+TEST(ZipfTest, SingleElementDomain) {
+  Rng rng(31);
+  ZipfSampler zipf(1, 1.0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Sample(&rng), 0u);
+}
+
+TEST(SplitMixTest, KnownSequenceIsStable) {
+  SplitMix64 sm(0);
+  uint64_t first = sm.Next();
+  SplitMix64 sm2(0);
+  EXPECT_EQ(first, sm2.Next());
+  EXPECT_NE(sm.Next(), first);
+}
+
+}  // namespace
+}  // namespace ltree

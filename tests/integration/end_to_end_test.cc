@@ -1,0 +1,133 @@
+// End-to-end integration: generator -> serializer -> parser -> labeled
+// store -> queries -> random edits -> queries again, cross-checked against
+// naive DOM evaluation throughout. This is the "XML database" loop the
+// paper's introduction describes, exercised over every module at once.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "docstore/labeled_document.h"
+#include "query/path_query.h"
+#include "virtual_ltree/virtual_ltree.h"
+#include "workload/xml_generator.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace ltree {
+namespace {
+
+struct EndToEndCase {
+  uint32_t f;
+  uint32_t s;
+  uint64_t books;
+};
+
+class EndToEndTest : public ::testing::TestWithParam<EndToEndCase> {};
+
+TEST_P(EndToEndTest, FullPipelineStaysConsistent) {
+  const EndToEndCase tc = GetParam();
+  const Params params{.f = tc.f, .s = tc.s};
+
+  // Generate -> serialize -> reparse (exercises generator + serializer +
+  // parser agreement), then label.
+  const std::string xml_text = workload::GenerateCatalogXml(tc.books, 3, 77);
+  auto store =
+      docstore::LabeledDocument::FromXml(xml_text, params).MoveValueUnsafe();
+  ASSERT_TRUE(store->CheckConsistency().ok());
+
+  const char* paths[] = {"//book//title", "/site/books/book",
+                         "//chapter/para", "//author/name", "/site//*"};
+  auto verify_all = [&](const std::string& when) {
+    for (const char* path : paths) {
+      auto q = query::PathQuery::Parse(path).ValueOrDie();
+      std::vector<xml::NodeId> label_ids;
+      for (const auto* row : query::EvaluateWithLabels(q, store->table())) {
+        label_ids.push_back(row->id);
+      }
+      auto dom_ids = query::EvaluateOnDocument(q, store->document());
+      ASSERT_EQ(label_ids, dom_ids) << path << " " << when;
+    }
+  };
+  verify_all("after load");
+
+  // Edit storm: fragments, single elements, texts and deletions.
+  auto books_q = query::PathQuery::Parse("/site/books").ValueOrDie();
+  const xml::NodeId books_id =
+      query::EvaluateWithLabels(books_q, store->table())[0]->id;
+  Rng rng(tc.f * 100 + tc.s);
+  for (int op = 0; op < 120; ++op) {
+    const uint64_t dice = rng.Uniform(10);
+    if (dice < 4) {
+      ASSERT_TRUE(store
+                      ->InsertFragment(
+                          books_id, 0,
+                          "<book><title>x</title><chapter><title>y</title>"
+                          "<para>z</para></chapter></book>")
+                      .ok());
+    } else if (dice < 7) {
+      auto all_books = store->table().ByTag("book");
+      if (!all_books.empty()) {
+        const auto* victim = all_books[rng.Uniform(all_books.size())];
+        auto ch = store->InsertElement(victim->id, 0, "chapter");
+        ASSERT_TRUE(ch.ok());
+        ASSERT_TRUE(store->InsertElement(*ch, 0, "para").ok());
+      }
+    } else if (dice < 8) {
+      auto chapters = store->table().ByTag("chapter");
+      if (!chapters.empty()) {
+        const auto* target = chapters[rng.Uniform(chapters.size())];
+        ASSERT_TRUE(store->InsertText(target->id, 0, "note").ok());
+      }
+    } else {
+      auto chapters = store->table().ByTag("chapter");
+      if (chapters.size() > 3) {
+        const auto* victim = chapters[rng.Uniform(chapters.size())];
+        ASSERT_TRUE(store->DeleteSubtree(victim->id).ok());
+      }
+    }
+    if (op % 30 == 29) {
+      ASSERT_TRUE(store->CheckConsistency().ok()) << "op " << op;
+      verify_all("op " + std::to_string(op));
+    }
+  }
+  ASSERT_TRUE(store->CheckConsistency().ok());
+  verify_all("final");
+
+  // The surviving document round-trips through the serializer.
+  auto reparsed = xml::Parse(xml::Serialize(store->document()));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->num_elements(), store->document().num_elements());
+}
+
+TEST_P(EndToEndTest, VirtualTreeTracksSameTagStream) {
+  // Load the same document's tag stream into a virtual L-Tree and confirm
+  // the labels match the materialized store's labels exactly.
+  const EndToEndCase tc = GetParam();
+  const Params params{.f = tc.f, .s = tc.s};
+  xml::Document doc = workload::GenerateCatalog(tc.books, 2, 5);
+  auto stream = doc.TagStream();
+  std::vector<LeafCookie> cookies(stream.size());
+  for (size_t i = 0; i < stream.size(); ++i) cookies[i] = i;
+
+  auto store = docstore::LabeledDocument::FromDocument(std::move(doc), params)
+                   .MoveValueUnsafe();
+  auto vt = VirtualLTree::Create(params).ValueOrDie();
+  std::vector<Label> vlabels;
+  ASSERT_TRUE(vt->BulkLoad(cookies, &vlabels).ok());
+  EXPECT_EQ(store->ltree().AllLabels(), vlabels);
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, EndToEndTest,
+                         ::testing::Values(EndToEndCase{4, 2, 20},
+                                           EndToEndCase{16, 4, 60},
+                                           EndToEndCase{32, 2, 40}),
+                         [](const auto& info) {
+                           return "f" + std::to_string(info.param.f) + "s" +
+                                  std::to_string(info.param.s);
+                         });
+
+}  // namespace
+}  // namespace ltree

@@ -1,0 +1,233 @@
+// Behavioural tests for the individual labeling schemes.
+
+#include <gtest/gtest.h>
+
+#include "listlab/bender_list.h"
+#include "listlab/factory.h"
+#include "listlab/gap_list.h"
+#include "listlab/ltree_adapters.h"
+#include "listlab/sequential_list.h"
+
+namespace ltree {
+namespace listlab {
+namespace {
+
+TEST(SequentialListTest, BulkLoadIsConsecutive) {
+  SequentialList list;
+  std::vector<ItemId> ids;
+  ASSERT_TRUE(list.BulkLoad(5, &ids).ok());
+  EXPECT_EQ(list.Labels(), (std::vector<Label>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(list.size(), 5u);
+  EXPECT_TRUE(list.CheckInvariants().ok());
+}
+
+TEST(SequentialListTest, MidInsertShiftsSuffix) {
+  SequentialList list;
+  std::vector<ItemId> ids;
+  ASSERT_TRUE(list.BulkLoad(10, &ids).ok());
+  // Insert after position 3: labels 4..9 shift.
+  auto id = list.InsertAfter(ids[3]);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*list.GetLabel(*id), 4u);
+  EXPECT_EQ(list.stats().items_relabeled, 6u);
+  EXPECT_EQ(list.Labels(),
+            (std::vector<Label>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}));
+  EXPECT_TRUE(list.CheckInvariants().ok());
+}
+
+TEST(SequentialListTest, AppendIsFree) {
+  SequentialList list;
+  std::vector<ItemId> ids;
+  ASSERT_TRUE(list.BulkLoad(10, &ids).ok());
+  ASSERT_TRUE(list.PushBack().ok());
+  EXPECT_EQ(list.stats().items_relabeled, 0u);
+}
+
+TEST(SequentialListTest, PushFrontShiftsEverything) {
+  SequentialList list;
+  std::vector<ItemId> ids;
+  ASSERT_TRUE(list.BulkLoad(10, &ids).ok());
+  ASSERT_TRUE(list.PushFront().ok());
+  EXPECT_EQ(list.stats().items_relabeled, 10u);
+}
+
+TEST(SequentialListTest, EraseLeavesGapThatAbsorbsShift) {
+  SequentialList list;
+  std::vector<ItemId> ids;
+  ASSERT_TRUE(list.BulkLoad(10, &ids).ok());
+  ASSERT_TRUE(list.Erase(ids[5]).ok());  // label 5 vacated
+  ASSERT_TRUE(list.InsertAfter(ids[2]).ok());
+  // Shift stops at the vacated slot: labels 3,4 move to 4,5.
+  EXPECT_EQ(list.stats().items_relabeled, 2u);
+  EXPECT_TRUE(list.CheckInvariants().ok());
+}
+
+TEST(SequentialListTest, ErasedIdRejected) {
+  SequentialList list;
+  std::vector<ItemId> ids;
+  ASSERT_TRUE(list.BulkLoad(3, &ids).ok());
+  ASSERT_TRUE(list.Erase(ids[1]).ok());
+  EXPECT_TRUE(list.Erase(ids[1]).IsNotFound());
+  EXPECT_TRUE(list.GetLabel(ids[1]).status().IsNotFound());
+  EXPECT_TRUE(list.InsertAfter(ids[1]).status().IsNotFound());
+  EXPECT_TRUE(list.GetLabel(999).status().IsNotFound());
+}
+
+TEST(GapListTest, BulkLoadLeavesGaps) {
+  GapList list(10);
+  std::vector<ItemId> ids;
+  ASSERT_TRUE(list.BulkLoad(4, &ids).ok());
+  EXPECT_EQ(list.Labels(), (std::vector<Label>{0, 10, 20, 30}));
+}
+
+TEST(GapListTest, MidpointInsertNoRelabel) {
+  GapList list(10);
+  std::vector<ItemId> ids;
+  ASSERT_TRUE(list.BulkLoad(4, &ids).ok());
+  auto id = list.InsertAfter(ids[1]);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*list.GetLabel(*id), 15u);
+  EXPECT_EQ(list.stats().items_relabeled, 0u);
+}
+
+TEST(GapListTest, ExhaustedGapRenumbersAll) {
+  GapList list(4);
+  std::vector<ItemId> ids;
+  ASSERT_TRUE(list.BulkLoad(8, &ids).ok());
+  // Hammer one gap until it renumbers: gap 4 fits 2 midpoint inserts.
+  ItemId pos = ids[0];
+  uint64_t relabels_before = list.stats().items_relabeled;
+  int renumbers = 0;
+  for (int i = 0; i < 10; ++i) {
+    auto id = list.InsertAfter(pos);
+    ASSERT_TRUE(id.ok());
+    if (list.stats().rebalances > static_cast<uint64_t>(renumbers)) {
+      ++renumbers;
+    }
+    ASSERT_TRUE(list.CheckInvariants().ok());
+  }
+  EXPECT_GT(renumbers, 0);
+  EXPECT_GT(list.stats().items_relabeled, relabels_before);
+}
+
+TEST(GapListTest, AppendExtends) {
+  GapList list(16);
+  std::vector<ItemId> ids;
+  ASSERT_TRUE(list.BulkLoad(2, &ids).ok());
+  auto id = list.PushBack();
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*list.GetLabel(*id), 32u);
+  EXPECT_EQ(list.stats().items_relabeled, 0u);
+}
+
+TEST(GapListTest, PushFrontUsesHalfGap) {
+  GapList list(16);
+  std::vector<ItemId> ids;
+  ASSERT_TRUE(list.BulkLoad(2, &ids).ok());
+  ASSERT_TRUE(list.PushFront().ok());
+  EXPECT_EQ(list.Labels().front(), 0u);
+  EXPECT_TRUE(list.CheckInvariants().ok());
+}
+
+TEST(BenderListTest, BulkLoadEvenSpread) {
+  BenderList list;
+  std::vector<ItemId> ids;
+  ASSERT_TRUE(list.BulkLoad(16, &ids).ok());
+  auto labels = list.Labels();
+  ASSERT_EQ(labels.size(), 16u);
+  EXPECT_TRUE(std::is_sorted(labels.begin(), labels.end()));
+  EXPECT_TRUE(list.CheckInvariants().ok());
+}
+
+TEST(BenderListTest, HotspotInsertsStayCheap) {
+  BenderList list;
+  std::vector<ItemId> ids;
+  ASSERT_TRUE(list.BulkLoad(64, &ids).ok());
+  ItemId pos = ids[32];
+  for (int i = 0; i < 2000; ++i) {
+    auto id = list.InsertAfter(pos);
+    ASSERT_TRUE(id.ok());
+    if (i % 200 == 0) ASSERT_TRUE(list.CheckInvariants().ok());
+  }
+  EXPECT_TRUE(list.CheckInvariants().ok());
+  // Amortized relabels should be polylog, far below n/2 = ~1000.
+  EXPECT_LT(list.stats().RelabelsPerInsert(), 100.0);
+}
+
+TEST(BenderListTest, UniverseGrowsWhenDense) {
+  BenderList list(BenderList::Options{.initial_bits = 6, .root_density = 0.5});
+  ASSERT_TRUE(list.BulkLoad(8, nullptr).ok());
+  const uint32_t bits_before = list.universe_bits();
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(list.PushBack().ok());
+  }
+  EXPECT_GT(list.universe_bits(), bits_before);
+  EXPECT_TRUE(list.CheckInvariants().ok());
+}
+
+TEST(BenderListTest, EmptyListPushBack) {
+  BenderList list;
+  auto id = list.PushBack();
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(list.size(), 1u);
+  auto id2 = list.PushFront();
+  ASSERT_TRUE(id2.ok());
+  auto labels = list.Labels();
+  EXPECT_LT(labels[0], labels[1]);
+}
+
+TEST(LTreeMaintainerTest, WrapsTree) {
+  auto m = LTreeMaintainer::Make(Params{.f = 8, .s = 2}).ValueOrDie();
+  std::vector<ItemId> ids;
+  ASSERT_TRUE(m->BulkLoad(16, &ids).ok());
+  EXPECT_EQ(m->size(), 16u);
+  auto id = m->InsertAfter(ids[4]);
+  ASSERT_TRUE(id.ok());
+  EXPECT_GT(*m->GetLabel(*id), *m->GetLabel(ids[4]));
+  EXPECT_LT(*m->GetLabel(*id), *m->GetLabel(ids[5]));
+  ASSERT_TRUE(m->Erase(ids[0]).ok());
+  EXPECT_EQ(m->size(), 16u);
+  EXPECT_TRUE(m->GetLabel(ids[0]).status().IsNotFound());
+  EXPECT_EQ(m->stats().inserts, 1u);
+  EXPECT_TRUE(m->CheckInvariants().ok());
+}
+
+TEST(VirtualLTreeMaintainerTest, TracksLabelsAcrossRelabeling) {
+  auto m = VirtualLTreeMaintainer::Make(Params{.f = 4, .s = 2}).ValueOrDie();
+  std::vector<ItemId> ids;
+  ASSERT_TRUE(m->BulkLoad(8, &ids).ok());
+  // Force splits; the id -> label map must stay consistent.
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(m->InsertAfter(ids[3]).ok());
+  }
+  auto labels = m->Labels();
+  EXPECT_TRUE(std::is_sorted(labels.begin(), labels.end()));
+  // ids[3] and ids[4] must still be in relative order.
+  EXPECT_LT(*m->GetLabel(ids[3]), *m->GetLabel(ids[4]));
+  EXPECT_TRUE(m->CheckInvariants().ok());
+}
+
+TEST(FactoryTest, BuildsEverySpec) {
+  for (const char* spec :
+       {"sequential", "gap:64", "bender", "bender:0.75", "ltree:16:4",
+        "virtual:8:2"}) {
+    auto m = MakeMaintainer(spec);
+    ASSERT_TRUE(m.ok()) << spec;
+    ASSERT_TRUE((*m)->BulkLoad(4, nullptr).ok()) << spec;
+    EXPECT_EQ((*m)->size(), 4u) << spec;
+  }
+}
+
+TEST(FactoryTest, RejectsBadSpecs) {
+  EXPECT_FALSE(MakeMaintainer("nope").ok());
+  EXPECT_FALSE(MakeMaintainer("gap").ok());
+  EXPECT_FALSE(MakeMaintainer("gap:1").ok());
+  EXPECT_FALSE(MakeMaintainer("bender:0").ok());
+  EXPECT_FALSE(MakeMaintainer("bender:1.5").ok());
+  EXPECT_FALSE(MakeMaintainer("ltree:16").ok());
+  EXPECT_FALSE(MakeMaintainer("ltree:5:2").ok());
+}
+
+}  // namespace
+}  // namespace listlab
+}  // namespace ltree

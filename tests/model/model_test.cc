@@ -1,0 +1,138 @@
+// Tests of the Section 3 analytical model and the Section 3.2 tuner.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/cost_model.h"
+#include "model/tuner.h"
+
+namespace ltree {
+namespace model {
+namespace {
+
+TEST(CostModelTest, HeightMatchesLog) {
+  // d = f/s = 4, n = 4^10.
+  EXPECT_NEAR(CostModel::Height(8, 2, std::pow(4.0, 10)), 10.0, 1e-9);
+  EXPECT_NEAR(CostModel::Height(4, 2, 1024), 10.0, 1e-9);
+}
+
+TEST(CostModelTest, CostFormulaComponents) {
+  // f=4, s=2, n=2^10: h=10; cost = (1 + 2*4/1)*10 + 4 = 94.
+  EXPECT_NEAR(CostModel::AmortizedInsertCost(4, 2, 1024), 94.0, 1e-9);
+}
+
+TEST(CostModelTest, BitsFormula) {
+  // f=4, s=2, n=2^10: bits = log2(5) * 10.
+  EXPECT_NEAR(CostModel::LabelBits(4, 2, 1024), std::log2(5.0) * 10.0, 1e-9);
+}
+
+TEST(CostModelTest, CostIsLogarithmicInN) {
+  const double c1 = CostModel::AmortizedInsertCost(16, 4, 1e4);
+  const double c2 = CostModel::AmortizedInsertCost(16, 4, 1e8);
+  // Doubling the exponent doubles the log-term; ratio < 2.1 given +f term.
+  EXPECT_GT(c2, c1);
+  EXPECT_LT(c2, 2.1 * c1);
+}
+
+TEST(CostModelTest, BatchCostDecreasesWithK) {
+  const double n = 1e6;
+  double prev = CostModel::BatchAmortizedCost(16, 4, n, 1);
+  for (double k : {4.0, 16.0, 64.0, 256.0, 1024.0}) {
+    const double cur = CostModel::BatchAmortizedCost(16, 4, n, k);
+    EXPECT_LT(cur, prev) << "k=" << k;
+    prev = cur;
+  }
+}
+
+TEST(CostModelTest, BatchOfOneMatchesSingleShape) {
+  // k=1 reduces to the single-insert cost (same leading terms).
+  const double n = 1e6;
+  const double single = CostModel::AmortizedInsertCost(16, 4, n);
+  const double batch1 = CostModel::BatchAmortizedCost(16, 4, n, 1);
+  EXPECT_NEAR(single, batch1, single * 0.25);
+}
+
+TEST(CostModelTest, QueryCompareCost) {
+  EXPECT_EQ(CostModel::QueryCompareCost(10), 1.0);
+  EXPECT_EQ(CostModel::QueryCompareCost(64), 1.0);
+  EXPECT_NEAR(CostModel::QueryCompareCost(128), 2.0, 1e-9);
+  EXPECT_NEAR(CostModel::QueryCompareCost(96), 1.5, 1e-9);
+}
+
+TEST(CostModelTest, OverallCostBlends) {
+  const double n = 1e6;
+  const double pure_update = CostModel::OverallCost(16, 4, n, 0.0);
+  const double pure_query = CostModel::OverallCost(16, 4, n, 1.0);
+  EXPECT_NEAR(pure_update, CostModel::AmortizedInsertCost(16, 4, n), 1e-9);
+  EXPECT_NEAR(pure_query,
+              CostModel::QueryCompareCost(CostModel::LabelBits(16, 4, n)),
+              1e-9);
+}
+
+TEST(TunerTest, MinimizeCostBeatsNeighbours) {
+  const double n = 1e6;
+  TuningResult best = Tuner::MinimizeCost(n);
+  const double best_cost = best.predicted_cost;
+  // Probe the lattice: nothing in range does better.
+  for (uint32_t s = 2; s <= 16; ++s) {
+    for (uint32_t d = 2; d <= 64; ++d) {
+      EXPECT_GE(CostModel::AmortizedInsertCost(s * d, s, n) + 1e-9, best_cost)
+          << "s=" << s << " d=" << d;
+    }
+  }
+  EXPECT_TRUE(Params{best.params}.Validate().ok());
+}
+
+TEST(TunerTest, ContinuousOptimumNearLatticeOptimum) {
+  const double n = 1e6;
+  auto [fc, sc] = Tuner::ContinuousMinimizeCost(n);
+  TuningResult lattice = Tuner::MinimizeCost(n);
+  const double cont_cost = CostModel::AmortizedInsertCost(fc, sc, n);
+  // The lattice optimum is within a modest factor of the continuous one.
+  EXPECT_LE(lattice.predicted_cost, 1.25 * cont_cost);
+  EXPECT_GE(lattice.predicted_cost + 1e-9, cont_cost)
+      << "continuous relaxation can only be better";
+}
+
+TEST(TunerTest, BitsBudgetRespected) {
+  const double n = 1e6;
+  const double budget = 40.0;
+  auto constrained = Tuner::MinimizeCostWithBitsBudget(n, budget);
+  ASSERT_TRUE(constrained.ok());
+  EXPECT_LE(constrained->predicted_bits, budget + 1e-9);
+  // Constrained cost >= unconstrained cost.
+  TuningResult free = Tuner::MinimizeCost(n);
+  EXPECT_GE(constrained->predicted_cost + 1e-9, free.predicted_cost);
+}
+
+TEST(TunerTest, TightBudgetChangesChoice) {
+  const double n = 1e6;
+  TuningResult free = Tuner::MinimizeCost(n);
+  if (free.predicted_bits > 30.0) {
+    auto tight = Tuner::MinimizeCostWithBitsBudget(n, 30.0);
+    ASSERT_TRUE(tight.ok());
+    EXPECT_GT(tight->predicted_cost, free.predicted_cost)
+        << "the budget binds, so cost must rise";
+  }
+}
+
+TEST(TunerTest, ImpossibleBudgetFails) {
+  EXPECT_FALSE(Tuner::MinimizeCostWithBitsBudget(1e6, 5.0).ok());
+}
+
+TEST(TunerTest, QueryHeavyWorkloadPrefersFewerBits) {
+  const double n = 1e9;
+  TuningResult update_heavy = Tuner::MinimizeOverallCost(n, 0.01, 16);
+  TuningResult query_heavy = Tuner::MinimizeOverallCost(n, 0.999, 16);
+  const double bits_update = CostModel::LabelBits(
+      update_heavy.params.f, update_heavy.params.s, n);
+  const double bits_query =
+      CostModel::LabelBits(query_heavy.params.f, query_heavy.params.s, n);
+  // With a tiny 16-bit word, the query-heavy optimum compresses labels.
+  EXPECT_LE(bits_query, bits_update);
+}
+
+}  // namespace
+}  // namespace model
+}  // namespace ltree

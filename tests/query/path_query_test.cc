@@ -1,0 +1,186 @@
+// Path parsing plus the three-evaluator agreement property: the label plan
+// and the edge plan must both match the naive DOM ground truth on random
+// documents.
+
+#include "query/path_query.h"
+
+#include <gtest/gtest.h>
+
+#include "docstore/labeled_document.h"
+#include "workload/xml_generator.h"
+
+namespace ltree {
+namespace query {
+namespace {
+
+TEST(PathParseTest, Basic) {
+  auto q = PathQuery::Parse("/site/books//title");
+  ASSERT_TRUE(q.ok());
+  const auto& steps = q->steps();
+  ASSERT_EQ(steps.size(), 3u);
+  EXPECT_EQ(steps[0].axis, PathStep::Axis::kChild);
+  EXPECT_EQ(steps[0].tag, "site");
+  EXPECT_EQ(steps[1].axis, PathStep::Axis::kChild);
+  EXPECT_EQ(steps[1].tag, "books");
+  EXPECT_EQ(steps[2].axis, PathStep::Axis::kDescendant);
+  EXPECT_EQ(steps[2].tag, "title");
+}
+
+TEST(PathParseTest, LeadingDoubleSlash) {
+  auto q = PathQuery::Parse("//title");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->steps()[0].axis, PathStep::Axis::kDescendant);
+}
+
+TEST(PathParseTest, NoLeadingSlashIsDescendant) {
+  auto q = PathQuery::Parse("book//title");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->steps().size(), 2u);
+  EXPECT_EQ(q->steps()[0].axis, PathStep::Axis::kDescendant);
+}
+
+TEST(PathParseTest, Wildcard) {
+  auto q = PathQuery::Parse("/site/*//para");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->steps()[1].tag, "*");
+}
+
+TEST(PathParseTest, Errors) {
+  EXPECT_FALSE(PathQuery::Parse("").ok());
+  EXPECT_FALSE(PathQuery::Parse("/").ok());
+  EXPECT_FALSE(PathQuery::Parse("a/").ok());
+  EXPECT_FALSE(PathQuery::Parse("a//").ok());
+  EXPECT_FALSE(PathQuery::Parse("a|b").ok());
+}
+
+class EvaluatorFixture : public ::testing::Test {
+ protected:
+  void Load(const std::string& xml_text) {
+    store_ = docstore::LabeledDocument::FromXml(xml_text,
+                                                Params{.f = 8, .s = 2})
+                 .MoveValueUnsafe();
+  }
+
+  std::vector<xml::NodeId> LabelIds(const std::string& path) {
+    auto q = PathQuery::Parse(path).ValueOrDie();
+    std::vector<xml::NodeId> ids;
+    for (const NodeRow* row : EvaluateWithLabels(q, store_->table())) {
+      ids.push_back(row->id);
+    }
+    return ids;
+  }
+
+  std::vector<xml::NodeId> EdgeIds(const std::string& path,
+                                   uint64_t* joins = nullptr) {
+    auto q = PathQuery::Parse(path).ValueOrDie();
+    std::vector<xml::NodeId> ids;
+    for (const NodeRow* row :
+         EvaluateWithEdges(q, store_->table(), joins)) {
+      ids.push_back(row->id);
+    }
+    return ids;
+  }
+
+  std::vector<xml::NodeId> DomIds(const std::string& path) {
+    auto q = PathQuery::Parse(path).ValueOrDie();
+    return EvaluateOnDocument(q, store_->document());
+  }
+
+  std::unique_ptr<docstore::LabeledDocument> store_;
+};
+
+TEST_F(EvaluatorFixture, PaperIntroQuery) {
+  // Section 1: "book//title" over the Figure 1 document.
+  Load("<book><chapter><title/></chapter><title/></book>");
+  auto ids = LabelIds("book//title");
+  EXPECT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids, DomIds("book//title"));
+  EXPECT_EQ(ids, EdgeIds("book//title"));
+  // Child axis: only the direct title.
+  EXPECT_EQ(LabelIds("/book/title").size(), 1u);
+  EXPECT_EQ(LabelIds("/book/title"), DomIds("/book/title"));
+}
+
+TEST_F(EvaluatorFixture, WildcardSteps) {
+  Load("<a><b><c/></b><d><c/></d><c/></a>");
+  EXPECT_EQ(LabelIds("/a/*/c").size(), 2u);
+  EXPECT_EQ(LabelIds("/a/*/c"), DomIds("/a/*/c"));
+  EXPECT_EQ(LabelIds("//c").size(), 3u);
+  EXPECT_EQ(LabelIds("//*").size(), 6u);
+  EXPECT_EQ(LabelIds("//*"), DomIds("//*"));
+}
+
+TEST_F(EvaluatorFixture, AnchoredRootMismatch) {
+  Load("<a><b/></a>");
+  EXPECT_TRUE(LabelIds("/b").empty());
+  EXPECT_TRUE(DomIds("/b").empty());
+  EXPECT_EQ(LabelIds("/a").size(), 1u);
+}
+
+TEST_F(EvaluatorFixture, SelfNestedTags) {
+  // Same tag nested: //a//a must not report the outer node.
+  Load("<a><a><a/></a></a>");
+  EXPECT_EQ(LabelIds("//a").size(), 3u);
+  EXPECT_EQ(LabelIds("a//a").size(), 2u);
+  EXPECT_EQ(LabelIds("a//a"), DomIds("a//a"));
+  EXPECT_EQ(LabelIds("a//a"), EdgeIds("a//a"));
+}
+
+TEST_F(EvaluatorFixture, ResultsSortedByDocumentOrder) {
+  Load(workload::GenerateCatalogXml(20, 3, 11));
+  auto rows = [&](const std::string& path) {
+    auto q = PathQuery::Parse(path).ValueOrDie();
+    return EvaluateWithLabels(q, store_->table());
+  };
+  auto titles = rows("//title");
+  for (size_t i = 1; i < titles.size(); ++i) {
+    EXPECT_LT(titles[i - 1]->region.start, titles[i]->region.start);
+  }
+}
+
+TEST_F(EvaluatorFixture, EdgePlanCountsJoins) {
+  Load(workload::GenerateCatalogXml(10, 3, 5));
+  uint64_t joins = 0;
+  EdgeIds("/site/books//title", &joins);
+  // The descendant step must iterate multiple levels; the label plan always
+  // needs one structural join per step.
+  EXPECT_GT(joins, 2u);
+}
+
+class RandomDocAgreementTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomDocAgreementTest, ThreeEvaluatorsAgree) {
+  workload::RandomDocOptions opts;
+  opts.num_elements = 400;
+  opts.tag_vocabulary = 6;
+  opts.seed = GetParam();
+  xml::Document doc = workload::GenerateRandomDocument(opts);
+  auto store = docstore::LabeledDocument::FromDocument(std::move(doc),
+                                                       Params{.f = 16, .s = 4})
+                   .MoveValueUnsafe();
+  const char* paths[] = {"//tag0",         "//tag1//tag2", "/root//tag3",
+                         "/root/*",        "//tag4/tag5",  "//*//tag0",
+                         "root/tag1/tag1", "//tag2//*"};
+  for (const char* path : paths) {
+    auto q = query::PathQuery::Parse(path).ValueOrDie();
+    std::vector<xml::NodeId> label_ids;
+    for (const NodeRow* row : EvaluateWithLabels(q, store->table())) {
+      label_ids.push_back(row->id);
+    }
+    std::vector<xml::NodeId> edge_ids;
+    for (const NodeRow* row : EvaluateWithEdges(q, store->table())) {
+      edge_ids.push_back(row->id);
+    }
+    std::vector<xml::NodeId> dom_ids =
+        EvaluateOnDocument(q, store->document());
+    EXPECT_EQ(label_ids, dom_ids) << path << " seed " << GetParam();
+    EXPECT_EQ(edge_ids, dom_ids) << path << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDocAgreementTest,
+                         ::testing::Values(1, 2, 3, 7, 19));
+
+}  // namespace
+}  // namespace query
+}  // namespace ltree
