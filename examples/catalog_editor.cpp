@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
 
   auto store = docstore::LabeledDocument::FromDocument(
                    workload::GenerateCatalog(books, 4, /*seed=*/2026),
-                   Params{.f = 16, .s = 4})
+                   Params{.f = 16, .s = 4, .purge_tombstones_on_split = true})
                    .ValueOrDie();
   std::printf("catalog: %llu elements, %llu tag-stream slots, height %u\n",
               (unsigned long long)store->table().size(),

@@ -213,8 +213,11 @@ void LTree::RebuildAt(Node* v) {
 
     std::vector<Node*> leaves;
     CollectLeaves(v, &leaves);
-    const uint64_t purged = MaybePurge(&leaves);
+    // Destroy the internal skeleton before purging: MaybePurge frees
+    // tombstoned leaves, and the internal nodes' children vectors would
+    // still point at them during the recursive walk.
     DestroyInternalNodes(v);
+    const uint64_t purged = MaybePurge(&leaves);
 
     // Section 2.3: replace v with s complete (f/s)-ary subtrees over the
     // same leaf sequence. (For the exact single-insert trigger
@@ -253,10 +256,12 @@ void LTree::RebuildAt(Node* v) {
 void LTree::RebuildRoot() {
   std::vector<Node*> leaves;
   CollectLeaves(root_, &leaves);
-  const uint64_t purged = MaybePurge(&leaves);
   const uint32_t old_height = root_->height;
+  // As in RebuildAt: drop the internal skeleton before MaybePurge frees
+  // any tombstoned leaves it still points at.
   DestroyInternalNodes(root_);
   root_ = nullptr;
+  const uint64_t purged = MaybePurge(&leaves);
   (void)purged;  // counts live in stats_.tombstones_purged
 
   const uint64_t l = leaves.size();

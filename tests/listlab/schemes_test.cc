@@ -147,7 +147,9 @@ TEST(BenderListTest, HotspotInsertsStayCheap) {
   for (int i = 0; i < 2000; ++i) {
     auto id = list.InsertAfter(pos);
     ASSERT_TRUE(id.ok());
-    if (i % 200 == 0) ASSERT_TRUE(list.CheckInvariants().ok());
+    if (i % 200 == 0) {
+      ASSERT_TRUE(list.CheckInvariants().ok());
+    }
   }
   EXPECT_TRUE(list.CheckInvariants().ok());
   // Amortized relabels should be polylog, far below n/2 = ~1000.
