@@ -5,11 +5,21 @@
 // postpone but then pay full renumberings; the L-Tree (and the
 // density-scaled classical baseline) stay polylogarithmic with
 // O(log n)-bit labels.
+//
+// Usage:   bench_baselines [initial] [inserts] [json_path]
+//
+// Besides the human-readable table, the run is dumped as machine-readable
+// JSON (default ./BENCH_baselines.json) so CI can track the perf
+// trajectory: one record per (stream, scheme) with relabels/insert, label
+// bits, rebalances and wall time.
 
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/string_util.h"
 #include "common/timer.h"
 #include "listlab/factory.h"
 #include "workload/update_stream.h"
@@ -19,49 +29,88 @@ using namespace ltree;
 namespace {
 
 struct Row {
+  std::string stream;
+  std::string spec;
   std::string scheme;
-  double relabels_per_insert;
-  uint64_t rebalances;
-  uint32_t bits;
-  double millis;
+  double relabels_per_insert = 0.0;
+  uint64_t rebalances = 0;
+  uint32_t bits = 0;
+  double millis = 0.0;
 };
 
 Row RunScheme(const std::string& spec, workload::StreamKind kind,
               uint64_t initial, uint64_t inserts) {
-  auto m = listlab::MakeMaintainer(spec).ValueOrDie();
-  std::vector<listlab::ItemId> ids;
-  LTREE_CHECK_OK(m->BulkLoad(initial, &ids));
+  auto store = listlab::MakeLabelStore(spec).ValueOrDie();
+  std::vector<listlab::ItemHandle> handles;
+  LTREE_CHECK_OK(store->BulkLoad(initial, &handles));
   workload::UpdateStream stream(
       workload::StreamOptions{.kind = kind, .zipf_theta = 0.99, .seed = 31});
   Timer timer;
   for (uint64_t i = 0; i < inserts; ++i) {
-    const auto op = stream.Next(ids.size());
+    const auto op = stream.Next(handles.size());
+    const LeafCookie cookie = initial + i;
     if (op.kind == workload::ListOp::Kind::kInsertBefore) {
-      auto id = m->InsertBefore(ids[op.rank]);
-      LTREE_CHECK(id.ok());
-      ids.insert(ids.begin() + static_cast<long>(op.rank), *id);
+      auto h = store->InsertBefore(handles[op.rank], cookie);
+      LTREE_CHECK(h.ok());
+      handles.insert(handles.begin() + static_cast<long>(op.rank), *h);
     } else {
-      auto id = m->InsertAfter(ids[op.rank]);
-      LTREE_CHECK(id.ok());
-      ids.insert(ids.begin() + static_cast<long>(op.rank) + 1, *id);
+      auto h = store->InsertAfter(handles[op.rank], cookie);
+      LTREE_CHECK(h.ok());
+      handles.insert(handles.begin() + static_cast<long>(op.rank) + 1, *h);
     }
   }
   const double ms = timer.ElapsedMillis();
-  LTREE_CHECK_OK(m->CheckInvariants());
-  return Row{m->name(), m->stats().RelabelsPerInsert(),
-             m->stats().rebalances, m->label_bits(), ms};
+  LTREE_CHECK_OK(store->CheckInvariants());
+  return Row{workload::StreamKindName(kind),
+             spec,
+             store->name(),
+             store->stats().RelabelsPerInsert(),
+             store->stats().rebalances,
+             store->label_bits(),
+             ms};
+}
+
+void WriteJson(const std::string& path, uint64_t initial, uint64_t inserts,
+               const std::vector<Row>& rows) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"baselines\",\n  \"initial\": %llu,\n"
+               "  \"inserts\": %llu,\n  \"results\": [\n",
+               (unsigned long long)initial, (unsigned long long)inserts);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"stream\": \"%s\", \"spec\": \"%s\", \"scheme\": \"%s\", "
+        "\"relabels_per_insert\": %.4f, \"rebalances\": %llu, "
+        "\"label_bits\": %u, \"wall_ms\": %.3f}%s\n",
+        r.stream.c_str(), r.spec.c_str(), r.scheme.c_str(),
+        r.relabels_per_insert, (unsigned long long)r.rebalances, r.bits,
+        r.millis, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %zu records to %s\n", rows.size(), path.c_str());
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::PrintHeader(
       "E5 / Sections 1 & 5: relabeling cost across labeling schemes",
       "Claim: the L-Tree keeps updates polylogarithmic where sequential "
       "labels pay Theta(n); gaps only delay the pain.");
 
-  const uint64_t initial = 4000;
-  const uint64_t inserts = 8000;
+  const uint64_t initial =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 4000;
+  const uint64_t inserts =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 8000;
+  const std::string json_path = argc > 3 ? argv[3] : "BENCH_baselines.json";
+
   const char* specs[] = {"sequential", "gap:16",     "gap:1024",
                          "bender",     "ltree:16:4", "ltree:4:2",
                          "virtual:16:4"};
@@ -70,6 +119,7 @@ int main() {
                                         workload::StreamKind::kPrepend,
                                         workload::StreamKind::kHotspot};
 
+  std::vector<Row> rows;
   for (auto kind : kinds) {
     std::printf("--- stream: %s (initial=%llu, inserts=%llu) ---\n",
                 workload::StreamKindName(kind),
@@ -81,6 +131,7 @@ int main() {
       std::printf("%-24s %16.2f %12llu %6u %10.1f\n", row.scheme.c_str(),
                   row.relabels_per_insert,
                   (unsigned long long)row.rebalances, row.bits, row.millis);
+      rows.push_back(std::move(row));
     }
     std::printf("\n");
   }
@@ -88,6 +139,7 @@ int main() {
       "Expected: under 'uniform' and 'prepend', sequential sits near n/2 "
       "and n\nrelabels per insert respectively while ltree/bender stay in "
       "the tens; 'append'\nis cheap for everyone (the L-Tree splits but "
-      "amortizes); gap schemes degrade\nas soon as a region fills.\n");
+      "amortizes); gap schemes degrade\nas soon as a region fills.\n\n");
+  WriteJson(json_path, initial, inserts, rows);
   return 0;
 }

@@ -30,7 +30,7 @@ void Figure1() {
       "label-comparison join per step.");
   auto store = docstore::LabeledDocument::FromXml(
                    "<book><chapter><title/></chapter><title/></book>",
-                   Params{.f = 4, .s = 2})
+                   "ltree:4:2")
                    .ValueOrDie();
   std::printf("%-10s %-18s\n", "element", "(start, end)");
   store->document().Visit([&](const xml::Node& n) {

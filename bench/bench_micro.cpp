@@ -104,7 +104,7 @@ BENCHMARK(BM_CountedBTreeRangeCount);
 void BM_PathQueryLabels(benchmark::State& state) {
   static auto* store =
       docstore::LabeledDocument::FromDocument(
-          workload::GenerateCatalog(2000, 4, 7), Params{.f = 16, .s = 4})
+          workload::GenerateCatalog(2000, 4, 7), "ltree:16:4")
           .MoveValueUnsafe()
           .release();
   auto q = query::PathQuery::Parse("//book//title").ValueOrDie();
@@ -118,7 +118,7 @@ BENCHMARK(BM_PathQueryLabels);
 void BM_PathQueryEdges(benchmark::State& state) {
   static auto* store =
       docstore::LabeledDocument::FromDocument(
-          workload::GenerateCatalog(2000, 4, 7), Params{.f = 16, .s = 4})
+          workload::GenerateCatalog(2000, 4, 7), "ltree:16:4")
           .MoveValueUnsafe()
           .release();
   auto q = query::PathQuery::Parse("//book//title").ValueOrDie();

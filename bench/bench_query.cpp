@@ -25,12 +25,12 @@ int main() {
       "plans pay one join per document level.");
 
   auto store = docstore::LabeledDocument::FromDocument(
-                   workload::GenerateCatalog(3000, 4, 13),
-                   Params{.f = 16, .s = 4})
+                   workload::GenerateCatalog(3000, 4, 13), "ltree:16:4")
                    .ValueOrDie();
-  std::printf("document: %llu elements, depth ~5, L-Tree height %u\n\n",
+  std::printf("document: %llu elements, depth ~5, scheme %s (%u-bit labels)\n\n",
               (unsigned long long)store->table().size(),
-              store->ltree().height());
+              store->label_store().name().c_str(),
+              store->label_store().label_bits());
 
   const char* paths[] = {"//book//title", "/site/books//para",
                          "//chapter/title", "//book//*", "/site//title"};
@@ -80,7 +80,7 @@ int main() {
               "correct,\nno re-index, %.1f us per edit+query round; "
               "relabeled leaves total: %llu\n",
               edit_timer.ElapsedMicros() / 500.0,
-              (unsigned long long)store->ltree().stats().leaves_relabeled);
+              (unsigned long long)store->label_store().stats().items_relabeled);
   LTREE_CHECK_OK(store->CheckConsistency());
   return 0;
 }

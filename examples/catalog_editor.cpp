@@ -27,12 +27,12 @@ int main(int argc, char** argv) {
 
   auto store = docstore::LabeledDocument::FromDocument(
                    workload::GenerateCatalog(books, 4, /*seed=*/2026),
-                   Params{.f = 16, .s = 4, .purge_tombstones_on_split = true})
+                   "ltree:16:4:purge")
                    .ValueOrDie();
-  std::printf("catalog: %llu elements, %llu tag-stream slots, height %u\n",
+  std::printf("catalog: %llu elements, scheme %s, %u-bit labels\n",
               (unsigned long long)store->table().size(),
-              (unsigned long long)store->ltree().num_slots(),
-              store->ltree().height());
+              store->label_store().name().c_str(),
+              store->label_store().label_bits());
 
   // Locate the <books> container.
   auto books_q = query::PathQuery::Parse("/site/books").ValueOrDie();
@@ -87,23 +87,22 @@ int main(int argc, char** argv) {
     if (i % 100 == 99) {
       // Queries run against the live labels: no rebuild between edits.
       auto rows = query::EvaluateWithLabels(titles_q, store->table());
-      std::printf("  edit %4d: //book//title -> %5zu titles  (labels "
-                  "relabeled so far: %llu)\n",
-                  i + 1, rows.size(),
-                  (unsigned long long)store->ltree().stats().leaves_relabeled);
+      std::printf(
+          "  edit %4d: //book//title -> %5zu titles  (labels "
+          "relabeled so far: %llu)\n",
+          i + 1, rows.size(),
+          (unsigned long long)store->label_store().stats().items_relabeled);
     }
   }
 
   const double secs = timer.ElapsedSeconds();
-  const auto& st = store->ltree().stats();
+  const auto& st = store->label_store().stats();
   std::printf("\n%d edits in %.3fs (%.1f us/edit)\n", edits, secs,
               1e6 * secs / edits);
   std::printf("books inserted=%llu deleted=%llu\n",
               (unsigned long long)inserted_books,
               (unsigned long long)deleted_books);
-  std::printf("L-Tree: %s\n", st.ToString().c_str());
-  std::printf("amortized node accesses per inserted leaf: %.2f\n",
-              st.AmortizedCostPerInsert());
+  std::printf("scheme: %s\n", st.ToString().c_str());
 
   auto check = store->CheckConsistency();
   std::printf("consistency: %s\n", check.ToString().c_str());

@@ -15,9 +15,10 @@ int main() {
   // The paper's Figure 1 document.
   const char* kXml = "<book><chapter><title/></chapter><title/></book>";
 
-  // f and s control the relabeling/label-size trade-off (Section 3).
-  Params params{.f = 8, .s = 2};
-  auto store_or = docstore::LabeledDocument::FromXml(kXml, params);
+  // The labeling scheme is a spec string; f and s control the L-Tree's
+  // relabeling/label-size trade-off (Section 3). Try "virtual:8:2",
+  // "bender" or "gap:64" — the rest of the pipeline is unchanged.
+  auto store_or = docstore::LabeledDocument::FromXml(kXml, "ltree:8:2");
   if (!store_or.ok()) {
     std::fprintf(stderr, "load failed: %s\n",
                  store_or.status().ToString().c_str());
@@ -25,12 +26,10 @@ int main() {
   }
   auto store = std::move(store_or).ValueOrDie();
 
-  std::printf("Loaded %llu elements; L-Tree height %u, label space %llu "
-              "(%u-bit labels)\n",
+  std::printf("Loaded %llu elements; scheme %s, %u-bit labels\n",
               (unsigned long long)store->table().size(),
-              store->ltree().height(),
-              (unsigned long long)store->ltree().label_space(),
-              store->ltree().label_bits());
+              store->label_store().name().c_str(),
+              store->label_store().label_bits());
 
   // Every element carries a (start, end) interval label.
   store->document().Visit([&](const xml::Node& n) {
@@ -47,7 +46,7 @@ int main() {
   auto rows = query::EvaluateWithLabels(query, store->table());
   std::printf("book//title matches %zu title elements\n", rows.size());
 
-  // Edit: add a new chapter with a title. The L-Tree assigns labels to the
+  // Edit: add a new chapter with a title. The scheme assigns labels to the
   // new tags and relabels only a logarithmic neighbourhood.
   const xml::NodeId book_id = store->document().root()->id;
   auto chapter = store->InsertElement(book_id, 0, "chapter").ValueOrDie();
@@ -56,7 +55,8 @@ int main() {
   rows = query::EvaluateWithLabels(query, store->table());
   std::printf("after insertion, book//title matches %zu (no re-index)\n",
               rows.size());
-  std::printf("L-Tree stats: %s\n", store->ltree().stats().ToString().c_str());
+  std::printf("scheme stats: %s\n",
+              store->label_store().stats().ToString().c_str());
 
   auto st = store->CheckConsistency();
   std::printf("consistency: %s\n", st.ToString().c_str());

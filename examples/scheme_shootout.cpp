@@ -30,9 +30,9 @@ int main(int argc, char** argv) {
               "rebalances", "bits", "ms");
 
   for (const char* spec : specs) {
-    auto maintainer = listlab::MakeMaintainer(spec).ValueOrDie();
-    std::vector<listlab::ItemId> ids;
-    if (!maintainer->BulkLoad(initial, &ids).ok()) {
+    auto store = listlab::MakeLabelStore(spec).ValueOrDie();
+    std::vector<listlab::ItemHandle> handles;
+    if (!store->BulkLoad(initial, &handles).ok()) {
       std::printf("%-16s bulk load failed\n", spec);
       continue;
     }
@@ -42,22 +42,22 @@ int main(int argc, char** argv) {
     Timer timer;
     bool ok = true;
     for (uint64_t i = 0; i < inserts && ok; ++i) {
-      const auto op = stream.Next(ids.size());
-      auto id = maintainer->InsertAfter(ids[op.rank]);
-      if (!id.ok()) {
+      const auto op = stream.Next(handles.size());
+      auto h = store->InsertAfter(handles[op.rank], initial + i);
+      if (!h.ok()) {
         std::printf("%-16s insert failed: %s\n", spec,
-                    id.status().ToString().c_str());
+                    h.status().ToString().c_str());
         ok = false;
         break;
       }
-      ids.insert(ids.begin() + static_cast<long>(op.rank) + 1, *id);
+      handles.insert(handles.begin() + static_cast<long>(op.rank) + 1, *h);
     }
     if (!ok) continue;
     const double ms = timer.ElapsedMillis();
-    const auto& st = maintainer->stats();
+    const auto& st = store->stats();
     std::printf("%-16s %14.2f %12llu %10u %10.1f\n",
-                maintainer->name().c_str(), st.RelabelsPerInsert(),
-                (unsigned long long)st.rebalances, maintainer->label_bits(),
+                store->name().c_str(), st.RelabelsPerInsert(),
+                (unsigned long long)st.rebalances, store->label_bits(),
                 ms);
   }
 

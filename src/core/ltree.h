@@ -32,21 +32,9 @@
 #include "core/ltree_stats.h"
 #include "core/node.h"
 #include "core/params.h"
+#include "core/relabel_listener.h"
 
 namespace ltree {
-
-/// Sentinel for "label not yet assigned".
-inline constexpr Label kInvalidLabel = ~Label{0};
-
-/// Callback fired for every existing leaf whose label changes during
-/// relabeling, so external indexes (e.g. the label column of a node table)
-/// can be kept in sync.
-class RelabelListener {
- public:
-  virtual ~RelabelListener() = default;
-  virtual void OnRelabel(LeafCookie cookie, Label old_label,
-                         Label new_label) = 0;
-};
 
 class LTree {
  public:

@@ -1,0 +1,30 @@
+// Relabel notification hook, shared by every labeling scheme.
+//
+// Lives apart from the L-Tree headers so that layers which only need the
+// callback (the LabelStore interface, the docstore) can depend on it
+// without pulling in the materialized tree's internal Node type.
+
+#ifndef LTREE_CORE_RELABEL_LISTENER_H_
+#define LTREE_CORE_RELABEL_LISTENER_H_
+
+#include "core/params.h"
+
+namespace ltree {
+
+/// Sentinel for "label not yet assigned".
+inline constexpr Label kInvalidLabel = ~Label{0};
+
+/// Callback fired for every existing leaf whose label changes during
+/// relabeling, so external indexes (e.g. the label column of a node table)
+/// can be kept in sync. Bulk loading assigns initial labels and does not
+/// fire the listener; incremental maintenance does.
+class RelabelListener {
+ public:
+  virtual ~RelabelListener() = default;
+  virtual void OnRelabel(LeafCookie cookie, Label old_label,
+                         Label new_label) = 0;
+};
+
+}  // namespace ltree
+
+#endif  // LTREE_CORE_RELABEL_LISTENER_H_

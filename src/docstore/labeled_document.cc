@@ -4,9 +4,13 @@
 
 #include "common/macros.h"
 #include "common/string_util.h"
+#include "listlab/factory.h"
 
 namespace ltree {
 namespace docstore {
+
+using listlab::ItemHandle;
+using listlab::kInvalidItemHandle;
 
 namespace {
 
@@ -21,29 +25,31 @@ int32_t DepthOf(const xml::Node* node) {
 }  // namespace
 
 LabeledDocument::LabeledDocument(xml::Document doc,
-                                 std::unique_ptr<LTree> tree)
-    : doc_(std::move(doc)), tree_(std::move(tree)) {
-  tree_->set_listener(this);
+                                 std::unique_ptr<listlab::LabelStore> store,
+                                 std::string spec)
+    : doc_(std::move(doc)), store_(std::move(store)), spec_(std::move(spec)) {
+  store_->set_listener(this);
 }
 
-LabeledDocument::~LabeledDocument() { tree_->set_listener(nullptr); }
+LabeledDocument::~LabeledDocument() { store_->set_listener(nullptr); }
 
 Result<std::unique_ptr<LabeledDocument>> LabeledDocument::FromXml(
-    std::string_view xml_text, const Params& params) {
+    std::string_view xml_text, const std::string& scheme_spec) {
   LTREE_ASSIGN_OR_RETURN(xml::Document doc, xml::Parse(xml_text));
-  return FromDocument(std::move(doc), params);
+  return FromDocument(std::move(doc), scheme_spec);
 }
 
 Result<std::unique_ptr<LabeledDocument>> LabeledDocument::FromDocument(
-    xml::Document doc, const Params& params) {
+    xml::Document doc, const std::string& scheme_spec) {
   if (doc.root() == nullptr) {
     return Status::InvalidArgument("document has no root element");
   }
-  LTREE_ASSIGN_OR_RETURN(std::unique_ptr<LTree> tree, LTree::Create(params));
-  auto store = std::unique_ptr<LabeledDocument>(
-      new LabeledDocument(std::move(doc), std::move(tree)));
-  LTREE_RETURN_IF_ERROR(store->BulkLoadFromDocument());
-  return store;
+  LTREE_ASSIGN_OR_RETURN(std::unique_ptr<listlab::LabelStore> store,
+                         listlab::MakeLabelStore(scheme_spec));
+  auto labeled = std::unique_ptr<LabeledDocument>(new LabeledDocument(
+      std::move(doc), std::move(store), scheme_spec));
+  LTREE_RETURN_IF_ERROR(labeled->BulkLoadFromDocument());
+  return labeled;
 }
 
 Status LabeledDocument::BulkLoadFromDocument() {
@@ -55,8 +61,8 @@ Status LabeledDocument::BulkLoadFromDocument() {
                           ? EndCookie(entry.node->id)
                           : BeginCookie(entry.node->id));
   }
-  std::vector<LTree::LeafHandle> handles;
-  LTREE_RETURN_IF_ERROR(tree_->BulkLoad(cookies, &handles));
+  std::vector<ItemHandle> handles;
+  LTREE_RETURN_IF_ERROR(store_->BulkLoad(cookies, &handles));
 
   for (size_t i = 0; i < stream.size(); ++i) {
     const xml::TagEntry& entry = stream[i];
@@ -80,7 +86,9 @@ Status LabeledDocument::RegisterNode(const xml::Node* node, LeafPair leaves) {
   query::NodeRow row;
   row.id = node->id;
   row.tag = node->tag;
-  row.region = {tree_->label(leaves.begin), tree_->label(leaves.end)};
+  LTREE_ASSIGN_OR_RETURN(const Label start, store_->GetLabel(leaves.begin));
+  LTREE_ASSIGN_OR_RETURN(const Label end, store_->GetLabel(leaves.end));
+  row.region = {start, end};
   row.level = DepthOf(node);
   row.parent_id = node->parent == nullptr ? 0 : node->parent->id;
   row.is_text = false;
@@ -92,7 +100,8 @@ void LabeledDocument::OnRelabel(LeafCookie cookie, Label old_label,
   (void)old_label;
   const xml::NodeId id = cookie >> 1;
   const bool is_end = (cookie & 1) != 0;
-  // Text nodes have no table row; ignore the NotFound.
+  // Text nodes and not-yet-registered fresh nodes have no table row; ignore
+  // the NotFound.
   Status st = is_end ? table_.UpdateEnd(id, new_label)
                      : table_.UpdateStart(id, new_label);
   (void)st;
@@ -121,7 +130,7 @@ Result<xml::NodeId> LabeledDocument::InsertElement(xml::NodeId parent_id,
                                                    xml::NodeId after_sibling,
                                                    std::string tag) {
   auto pit = leaves_.find(parent_id);
-  if (pit == leaves_.end() || pit->second.end == nullptr) {
+  if (pit == leaves_.end() || pit->second.end == kInvalidItemHandle) {
     return Status::NotFound("parent is not a live element");
   }
   xml::Node* parent = doc_.FindById(parent_id);
@@ -136,14 +145,15 @@ Result<xml::NodeId> LabeledDocument::InsertElement(xml::NodeId parent_id,
   LTREE_RETURN_IF_ERROR(attach);
 
   const LeafCookie cookies[2] = {BeginCookie(fresh->id), EndCookie(fresh->id)};
-  std::vector<LTree::LeafHandle> handles;
+  std::vector<ItemHandle> handles;
   Status st;
   if (sibling == nullptr) {
-    st = tree_->InsertBatchBefore(pit->second.end, cookies, &handles);
+    st = store_->InsertBatchBefore(pit->second.end, cookies, &handles);
   } else {
     const LeafPair& sib = leaves_.at(sibling->id);
-    LTree::LeafHandle anchor = sib.end != nullptr ? sib.end : sib.begin;
-    st = tree_->InsertBatchAfter(anchor, cookies, &handles);
+    const ItemHandle anchor =
+        sib.end != kInvalidItemHandle ? sib.end : sib.begin;
+    st = store_->InsertBatchAfter(anchor, cookies, &handles);
   }
   if (!st.ok()) {
     LTREE_CHECK_OK(doc_.Remove(fresh));
@@ -159,7 +169,7 @@ Result<xml::NodeId> LabeledDocument::InsertText(xml::NodeId parent_id,
                                                 xml::NodeId after_sibling,
                                                 std::string text) {
   auto pit = leaves_.find(parent_id);
-  if (pit == leaves_.end() || pit->second.end == nullptr) {
+  if (pit == leaves_.end() || pit->second.end == kInvalidItemHandle) {
     return Status::NotFound("parent is not a live element");
   }
   xml::Node* parent = doc_.FindById(parent_id);
@@ -173,21 +183,20 @@ Result<xml::NodeId> LabeledDocument::InsertText(xml::NodeId parent_id,
                       : doc_.InsertAfter(parent, sibling, fresh);
   LTREE_RETURN_IF_ERROR(attach);
 
-  const LeafCookie cookies[1] = {BeginCookie(fresh->id)};
-  std::vector<LTree::LeafHandle> handles;
-  Status st;
-  if (sibling == nullptr) {
-    st = tree_->InsertBatchBefore(pit->second.end, cookies, &handles);
-  } else {
+  Result<ItemHandle> handle = [&]() -> Result<ItemHandle> {
+    if (sibling == nullptr) {
+      return store_->InsertBefore(pit->second.end, BeginCookie(fresh->id));
+    }
     const LeafPair& sib = leaves_.at(sibling->id);
-    LTree::LeafHandle anchor = sib.end != nullptr ? sib.end : sib.begin;
-    st = tree_->InsertBatchAfter(anchor, cookies, &handles);
-  }
-  if (!st.ok()) {
+    const ItemHandle anchor =
+        sib.end != kInvalidItemHandle ? sib.end : sib.begin;
+    return store_->InsertAfter(anchor, BeginCookie(fresh->id));
+  }();
+  if (!handle.ok()) {
     LTREE_CHECK_OK(doc_.Remove(fresh));
-    return st;
+    return handle.status();
   }
-  leaves_[fresh->id] = LeafPair{handles[0], nullptr};
+  leaves_[fresh->id] = LeafPair{*handle, kInvalidItemHandle};
   return fresh->id;
 }
 
@@ -210,7 +219,7 @@ Result<xml::NodeId> LabeledDocument::InsertFragment(xml::NodeId parent_id,
                                                     xml::NodeId after_sibling,
                                                     std::string_view fragment) {
   auto pit = leaves_.find(parent_id);
-  if (pit == leaves_.end() || pit->second.end == nullptr) {
+  if (pit == leaves_.end() || pit->second.end == kInvalidItemHandle) {
     return Status::NotFound("parent is not a live element");
   }
   LTREE_ASSIGN_OR_RETURN(xml::Document frag, xml::Parse(fragment));
@@ -229,7 +238,6 @@ Result<xml::NodeId> LabeledDocument::InsertFragment(xml::NodeId parent_id,
   // Tag stream of the clone, in order, as one leaf batch (Section 4.1).
   std::vector<xml::TagEntry> stream;
   {
-    std::vector<const xml::Node*> stack{clone_root};
     // Reuse Document::TagStream logic via a local recursion.
     struct Walker {
       static void Walk(const xml::Node* n, std::vector<xml::TagEntry>* out) {
@@ -255,14 +263,15 @@ Result<xml::NodeId> LabeledDocument::InsertFragment(xml::NodeId parent_id,
                           : BeginCookie(entry.node->id));
   }
 
-  std::vector<LTree::LeafHandle> handles;
+  std::vector<ItemHandle> handles;
   Status st;
   if (sibling == nullptr) {
-    st = tree_->InsertBatchBefore(pit->second.end, cookies, &handles);
+    st = store_->InsertBatchBefore(pit->second.end, cookies, &handles);
   } else {
     const LeafPair& sib = leaves_.at(sibling->id);
-    LTree::LeafHandle anchor = sib.end != nullptr ? sib.end : sib.begin;
-    st = tree_->InsertBatchAfter(anchor, cookies, &handles);
+    const ItemHandle anchor =
+        sib.end != kInvalidItemHandle ? sib.end : sib.begin;
+    st = store_->InsertBatchAfter(anchor, cookies, &handles);
   }
   if (!st.ok()) {
     LTREE_CHECK_OK(doc_.Remove(clone_root));
@@ -304,9 +313,9 @@ Status LabeledDocument::DeleteSubtree(xml::NodeId node_id) {
   }
   for (const xml::Node* n : subtree) {
     const LeafPair pair = leaves_.at(n->id);
-    LTREE_RETURN_IF_ERROR(tree_->MarkDeleted(pair.begin));
-    if (pair.end != nullptr) {
-      LTREE_RETURN_IF_ERROR(tree_->MarkDeleted(pair.end));
+    LTREE_RETURN_IF_ERROR(store_->Erase(pair.begin));
+    if (pair.end != kInvalidItemHandle) {
+      LTREE_RETURN_IF_ERROR(store_->Erase(pair.end));
     }
     if (n->IsElement()) {
       LTREE_RETURN_IF_ERROR(table_.Erase(n->id));
@@ -323,9 +332,12 @@ Status LabeledDocument::DeleteSubtree(xml::NodeId node_id) {
 Result<query::Region> LabeledDocument::GetRegion(xml::NodeId node_id) const {
   auto it = leaves_.find(node_id);
   if (it == leaves_.end()) return Status::NotFound("unknown node id");
-  const Label start = tree_->label(it->second.begin);
-  const Label end = it->second.end != nullptr ? tree_->label(it->second.end)
-                                              : start;
+  LTREE_ASSIGN_OR_RETURN(const Label start,
+                         store_->GetLabel(it->second.begin));
+  Label end = start;
+  if (it->second.end != kInvalidItemHandle) {
+    LTREE_ASSIGN_OR_RETURN(end, store_->GetLabel(it->second.end));
+  }
   return query::Region{start, end};
 }
 
@@ -337,7 +349,7 @@ Result<bool> LabeledDocument::IsAncestor(xml::NodeId ancestor,
 }
 
 Status LabeledDocument::CheckConsistency() const {
-  LTREE_RETURN_IF_ERROR(tree_->CheckInvariants());
+  LTREE_RETURN_IF_ERROR(store_->CheckInvariants());
   LTREE_RETURN_IF_ERROR(table_.CheckInvariants());
   LTREE_RETURN_IF_ERROR(doc_.CheckInvariants());
   // The labels read through the handles must be strictly increasing along
@@ -349,22 +361,31 @@ Status LabeledDocument::CheckConsistency() const {
     if (it == leaves_.end()) {
       return Status::Corruption("attached node missing from the leaf map");
     }
-    const LTree::LeafHandle h = entry.kind == xml::TagEntry::Kind::kEnd
-                                    ? it->second.end
-                                    : it->second.begin;
-    if (h == nullptr) return Status::Corruption("missing leaf handle");
-    const Label label = tree_->label(h);
-    if (!first && label <= prev) {
+    const ItemHandle h = entry.kind == xml::TagEntry::Kind::kEnd
+                             ? it->second.end
+                             : it->second.begin;
+    if (h == kInvalidItemHandle) {
+      return Status::Corruption("missing leaf handle");
+    }
+    auto label = store_->GetLabel(h);
+    if (!label.ok()) {
+      return Status::Corruption("leaf handle no longer resolves: " +
+                                label.status().ToString());
+    }
+    if (!first && *label <= prev) {
       return Status::Corruption("tag-stream labels not increasing");
     }
-    prev = label;
+    prev = *label;
     first = false;
     if (entry.kind == xml::TagEntry::Kind::kBegin &&
         entry.node->IsElement()) {
       LTREE_ASSIGN_OR_RETURN(const query::NodeRow* row,
                              table_.Find(entry.node->id));
-      if (row->region.start != tree_->label(it->second.begin) ||
-          row->region.end != tree_->label(it->second.end)) {
+      LTREE_ASSIGN_OR_RETURN(const Label start,
+                             store_->GetLabel(it->second.begin));
+      LTREE_ASSIGN_OR_RETURN(const Label end,
+                             store_->GetLabel(it->second.end));
+      if (row->region.start != start || row->region.end != end) {
         return Status::Corruption(StrFormat(
             "table region stale for node %llu",
             static_cast<unsigned long long>(entry.node->id)));

@@ -1,18 +1,26 @@
 // LabeledDocument: the end-to-end system of the paper.
 //
-// Binds an ordered XML document to an L-Tree over its tag stream (begin
-// tag, end tag and text-section leaves, Section 2) and maintains a
+// Binds an ordered XML document to a labeling scheme over its tag stream
+// (begin tag, end tag and text-section leaves, Section 2) and maintains a
 // relational NodeTable whose (start, end) interval labels stay valid across
-// edits: the L-Tree's relabel notifications are applied to the table in
+// edits: the scheme's relabel notifications are applied to the table in
 // place, so query plans built on label comparisons keep working without any
 // re-indexing — the paper's core selling point.
+//
+// The labeling scheme is pluggable: the document owns a listlab::LabelStore
+// chosen by spec string (factory.h grammar, e.g. "ltree:16:4",
+// "virtual:16:4", "bender", "gap:64", "sequential"), so the same parse ->
+// node table -> label-join -> edit pipeline runs unchanged over the paper's
+// L-Tree, its virtual variant, and every baseline it compares against.
 //
 // Element updates:
 //   * InsertElement        — single new element (two leaf insertions);
 //   * InsertFragment*      — a parsed subtree, inserted as one leaf batch
-//     (the Section 4.1 bulk insertion);
-//   * DeleteSubtree        — tombstones the leaves (Section 2.3) and drops
-//     the rows.
+//     (the Section 4.1 bulk insertion — one rebalance on schemes with a
+//     native batch path);
+//   * DeleteSubtree        — erases the leaves (tombstones on the L-Tree
+//     variants, physical unlink on the baselines; see order_maintainer.h)
+//     and drops the rows.
 
 #ifndef LTREE_DOCSTORE_LABELED_DOCUMENT_H_
 #define LTREE_DOCSTORE_LABELED_DOCUMENT_H_
@@ -23,7 +31,7 @@
 #include <unordered_map>
 
 #include "common/result.h"
-#include "core/ltree.h"
+#include "listlab/order_maintainer.h"
 #include "query/node_table.h"
 #include "xml/parser.h"
 #include "xml/xml_node.h"
@@ -33,13 +41,14 @@ namespace docstore {
 
 class LabeledDocument : private RelabelListener {
  public:
-  /// Builds the store from parsed XML text (bulk load, Section 2.2).
+  /// Builds the store from parsed XML text (bulk load, Section 2.2) over
+  /// the labeling scheme named by `scheme_spec` (factory.h grammar).
   static Result<std::unique_ptr<LabeledDocument>> FromXml(
-      std::string_view xml_text, const Params& params);
+      std::string_view xml_text, const std::string& scheme_spec);
 
   /// Builds the store from an existing document (takes ownership).
   static Result<std::unique_ptr<LabeledDocument>> FromDocument(
-      xml::Document doc, const Params& params);
+      xml::Document doc, const std::string& scheme_spec);
 
   ~LabeledDocument() override;
 
@@ -58,15 +67,15 @@ class LabeledDocument : private RelabelListener {
 
   /// Parses `fragment` and inserts the whole subtree right after
   /// `after_sibling` (a child of `parent_id`), or as the last child when
-  /// `after_sibling` is 0. All leaves enter the L-Tree as one batch
+  /// `after_sibling` is 0. All leaves enter the label store as one batch
   /// (Section 4.1). Returns the fragment root's node id.
   Result<xml::NodeId> InsertFragment(xml::NodeId parent_id,
                                      xml::NodeId after_sibling,
                                      std::string_view fragment);
 
-  /// Removes the subtree rooted at `node_id`: its leaves are tombstoned in
-  /// the L-Tree (no relabeling, Section 2.3), its rows leave the table, and
-  /// the DOM subtree is destroyed.
+  /// Removes the subtree rooted at `node_id`: its leaves are erased from
+  /// the label store (no relabeling), its rows leave the table, and the DOM
+  /// subtree is destroyed.
   Status DeleteSubtree(xml::NodeId node_id);
 
   // ---------------------------------------------------------------- queries
@@ -80,20 +89,28 @@ class LabeledDocument : private RelabelListener {
 
   const query::NodeTable& table() const { return table_; }
   const xml::Document& document() const { return doc_; }
-  LTree& ltree() { return *tree_; }
-  const LTree& ltree() const { return *tree_; }
 
-  /// Cross-checks DOM order/ancestry against table regions and L-Tree
-  /// labels.
+  /// The labeling scheme, read-only: name, stats, label bits, invariants.
+  /// (Mutating the store directly would desync the node table, so no
+  /// mutable accessor exists — use the update methods above.)
+  const listlab::LabelStore& label_store() const { return *store_; }
+
+  /// The spec string this document was constructed with.
+  const std::string& scheme_spec() const { return spec_; }
+
+  /// Cross-checks DOM order/ancestry against table regions and the label
+  /// store's labels.
   Status CheckConsistency() const;
 
  private:
   struct LeafPair {
-    LTree::LeafHandle begin = nullptr;
-    LTree::LeafHandle end = nullptr;  ///< null for text nodes
+    listlab::ItemHandle begin = listlab::kInvalidItemHandle;
+    listlab::ItemHandle end = listlab::kInvalidItemHandle;  ///< invalid for text
   };
 
-  LabeledDocument(xml::Document doc, std::unique_ptr<LTree> tree);
+  LabeledDocument(xml::Document doc,
+                  std::unique_ptr<listlab::LabelStore> store,
+                  std::string spec);
 
   void OnRelabel(LeafCookie cookie, Label old_label, Label new_label) override;
 
@@ -110,7 +127,8 @@ class LabeledDocument : private RelabelListener {
   static LeafCookie EndCookie(xml::NodeId id) { return (id << 1) | 1; }
 
   xml::Document doc_;
-  std::unique_ptr<LTree> tree_;
+  std::unique_ptr<listlab::LabelStore> store_;
+  std::string spec_;
   query::NodeTable table_;
   std::unordered_map<xml::NodeId, LeafPair> leaves_;
 };

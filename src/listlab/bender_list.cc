@@ -58,10 +58,7 @@ void BenderList::Redistribute(ListItem* first, uint64_t count, Label base,
   for (uint64_t i = 0; i < count; ++i) {
     LTREE_CHECK(cur != nullptr);
     const Label target = base + Spread(i, width, count);
-    if (cur != fresh && cur->label != target) {
-      ++stats_.items_relabeled;
-    }
-    cur->label = target;
+    SetLabel(cur, target, fresh);
     cur = cur->next;
   }
   ++stats_.rebalances;

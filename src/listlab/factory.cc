@@ -6,18 +6,20 @@
 #include "common/string_util.h"
 #include "listlab/bender_list.h"
 #include "listlab/gap_list.h"
-#include "listlab/ltree_adapters.h"
+#include "listlab/ltree_store.h"
 #include "listlab/sequential_list.h"
 
 namespace ltree {
 namespace listlab {
 
-Result<std::unique_ptr<OrderMaintainer>> MakeMaintainer(
-    const std::string& spec) {
+Result<std::unique_ptr<LabelStore>> MakeLabelStore(const std::string& spec) {
   const auto parts = SplitString(spec, ':');
   const std::string_view kind = parts[0];
   if (kind == "sequential") {
-    return std::unique_ptr<OrderMaintainer>(new SequentialList);
+    if (parts.size() != 1) {
+      return Status::InvalidArgument("usage: sequential");
+    }
+    return std::unique_ptr<LabelStore>(new SequentialList);
   }
   if (kind == "gap") {
     if (parts.size() != 2) {
@@ -25,7 +27,7 @@ Result<std::unique_ptr<OrderMaintainer>> MakeMaintainer(
     }
     const uint64_t g = std::strtoull(std::string(parts[1]).c_str(), nullptr, 10);
     if (g < 2) return Status::InvalidArgument("gap must be >= 2");
-    return std::unique_ptr<OrderMaintainer>(new GapList(g));
+    return std::unique_ptr<LabelStore>(new GapList(g));
   }
   if (kind == "bender") {
     BenderList::Options opts;
@@ -37,25 +39,32 @@ Result<std::unique_ptr<OrderMaintainer>> MakeMaintainer(
     } else if (parts.size() > 2) {
       return Status::InvalidArgument("usage: bender[:<rho>]");
     }
-    return std::unique_ptr<OrderMaintainer>(new BenderList(opts));
+    return std::unique_ptr<LabelStore>(new BenderList(opts));
   }
   if (kind == "ltree" || kind == "virtual") {
-    if (parts.size() != 3) {
-      return Status::InvalidArgument("usage: (ltree|virtual):<f>:<s>");
+    if (parts.size() != 3 && parts.size() != 4) {
+      return Status::InvalidArgument("usage: (ltree|virtual):<f>:<s>[:purge]");
     }
     Params params;
     params.f = static_cast<uint32_t>(
         std::strtoul(std::string(parts[1]).c_str(), nullptr, 10));
     params.s = static_cast<uint32_t>(
         std::strtoul(std::string(parts[2]).c_str(), nullptr, 10));
-    if (kind == "ltree") {
-      LTREE_ASSIGN_OR_RETURN(auto m, LTreeMaintainer::Make(params));
-      return std::unique_ptr<OrderMaintainer>(std::move(m));
+    if (parts.size() == 4) {
+      if (parts[3] != "purge") {
+        return Status::InvalidArgument(
+            "usage: (ltree|virtual):<f>:<s>[:purge]");
+      }
+      params.purge_tombstones_on_split = true;
     }
-    LTREE_ASSIGN_OR_RETURN(auto m, VirtualLTreeMaintainer::Make(params));
-    return std::unique_ptr<OrderMaintainer>(std::move(m));
+    if (kind == "ltree") {
+      LTREE_ASSIGN_OR_RETURN(auto m, LTreeStore::Make(params));
+      return std::unique_ptr<LabelStore>(std::move(m));
+    }
+    LTREE_ASSIGN_OR_RETURN(auto m, VirtualLTreeStore::Make(params));
+    return std::unique_ptr<LabelStore>(std::move(m));
   }
-  return Status::InvalidArgument("unknown maintainer spec: " + spec);
+  return Status::InvalidArgument("unknown labeling scheme spec: " + spec);
 }
 
 }  // namespace listlab

@@ -1,5 +1,5 @@
-// Construction of order-maintenance schemes by name, for benches and
-// parameterized tests.
+// Construction of labeling schemes (LabelStores) by spec string, for the
+// docstore, benches and parameterized tests.
 
 #ifndef LTREE_LISTLAB_FACTORY_H_
 #define LTREE_LISTLAB_FACTORY_H_
@@ -13,14 +13,16 @@ namespace ltree {
 namespace listlab {
 
 /// Spec grammar:
-///   "sequential"
-///   "gap:<G>"              e.g. "gap:64"
-///   "bender"               (root density 0.5)
-///   "bender:<rho>"         e.g. "bender:0.75"
-///   "ltree:<f>:<s>"        e.g. "ltree:16:4"
-///   "virtual:<f>:<s>"      e.g. "virtual:16:4"
-Result<std::unique_ptr<OrderMaintainer>> MakeMaintainer(
-    const std::string& spec);
+///   "sequential"               Section 1 strawman (consecutive integers)
+///   "gap:<G>"                  fixed gaps of G, e.g. "gap:64"
+///   "bender"                   density-scaled baseline (root density 0.5)
+///   "bender:<rho>"             e.g. "bender:0.75", rho in (0, 1]
+///   "ltree:<f>:<s>"            materialized L-Tree, e.g. "ltree:16:4"
+///   "ltree:<f>:<s>:purge"      ... purging tombstones at covering splits
+///   "virtual:<f>:<s>"          virtual L-Tree over the counted B+-tree
+///   "virtual:<f>:<s>:purge"    ... with tombstone purging
+/// Constraints: s >= 2, s | f, f/s >= 2 (core/params.h).
+Result<std::unique_ptr<LabelStore>> MakeLabelStore(const std::string& spec);
 
 }  // namespace listlab
 }  // namespace ltree

@@ -39,10 +39,7 @@ Status GapList::RenumberAll(const ListItem* exclude) {
   }
   uint64_t next = 0;
   for (ListItem* it = head_; it != nullptr; it = it->next) {
-    if (it->label != next && it != exclude) {
-      ++stats_.items_relabeled;
-    }
-    it->label = next;
+    SetLabel(it, next, exclude);
     next += gap_;
   }
   ++stats_.rebalances;

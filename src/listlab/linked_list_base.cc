@@ -7,30 +7,24 @@
 namespace ltree {
 namespace listlab {
 
-std::string MaintStats::ToString() const {
-  return StrFormat(
-      "MaintStats{inserts=%llu erases=%llu relabeled=%llu rebalances=%llu "
-      "relabels/insert=%.3f}",
-      static_cast<unsigned long long>(inserts),
-      static_cast<unsigned long long>(erases),
-      static_cast<unsigned long long>(items_relabeled),
-      static_cast<unsigned long long>(rebalances), RelabelsPerInsert());
-}
-
 LinkedListScheme::~LinkedListScheme() {
   for (ListItem* item : items_) delete item;
 }
 
-Result<ListItem*> LinkedListScheme::FindLive(ItemId id) const {
-  if (id >= items_.size() || items_[id] == nullptr || items_[id]->erased) {
-    return Status::NotFound("unknown or erased item id");
+Result<ListItem*> LinkedListScheme::FindLive(ItemHandle h) const {
+  if (h >= items_.size() || items_[h] == nullptr) {
+    return Status::NotFound("unknown item handle");
   }
-  return items_[id];
+  if (items_[h]->erased) {
+    return Status::NotFound("item handle already erased");
+  }
+  return items_[h];
 }
 
-ListItem* LinkedListScheme::AllocItem() {
+ListItem* LinkedListScheme::AllocItem(LeafCookie cookie) {
   ListItem* item = new ListItem;
-  item->id = items_.size();
+  item->handle = items_.size();
+  item->cookie = cookie;
   items_.push_back(item);
   return item;
 }
@@ -61,92 +55,91 @@ void LinkedListScheme::Unlink(ListItem* item) {
   --live_;
 }
 
-Status LinkedListScheme::BulkLoad(uint64_t n, std::vector<ItemId>* ids) {
+void LinkedListScheme::SetLabel(ListItem* item, Label label,
+                                const ListItem* fresh) {
+  if (item->label == label) return;
+  const Label old = item->label;
+  item->label = label;
+  if (item == fresh) return;
+  ++stats_.items_relabeled;
+  if (listener_ != nullptr) listener_->OnRelabel(item->cookie, old, label);
+}
+
+Status LinkedListScheme::BulkLoad(std::span<const LeafCookie> cookies,
+                                  std::vector<ItemHandle>* handles) {
   if (live_ != 0 || !items_.empty()) {
     return Status::FailedPrecondition("BulkLoad requires an empty list");
   }
   ListItem* prev = nullptr;
-  for (uint64_t i = 0; i < n; ++i) {
-    ListItem* item = AllocItem();
+  for (const LeafCookie cookie : cookies) {
+    ListItem* item = AllocItem(cookie);
     LinkAfter(prev, item);
     prev = item;
-    if (ids != nullptr) ids->push_back(item->id);
+    if (handles != nullptr) handles->push_back(item->handle);
   }
-  if (n > 0) {
-    LTREE_RETURN_IF_ERROR(AssignInitialLabels(n));
+  if (!cookies.empty()) {
+    LTREE_RETURN_IF_ERROR(AssignInitialLabels(cookies.size()));
   }
   return Status::OK();
 }
 
-Result<ItemId> LinkedListScheme::InsertAfter(ItemId pos) {
-  LTREE_ASSIGN_OR_RETURN(ListItem * where, FindLive(pos));
-  ListItem* item = AllocItem();
+Result<ItemHandle> LinkedListScheme::InsertLinked(ListItem* where,
+                                                  LeafCookie cookie) {
+  ListItem* item = AllocItem(cookie);
   LinkAfter(where, item);
   Status st = PlaceItem(item);
   if (!st.ok()) {
     Unlink(item);
-    items_[item->id] = nullptr;
+    items_[item->handle] = nullptr;
     delete item;
     return st;
   }
   ++stats_.inserts;
-  return item->id;
+  return item->handle;
 }
 
-Result<ItemId> LinkedListScheme::InsertBefore(ItemId pos) {
+Result<ItemHandle> LinkedListScheme::InsertAfter(ItemHandle pos,
+                                                 LeafCookie cookie) {
   LTREE_ASSIGN_OR_RETURN(ListItem * where, FindLive(pos));
-  ListItem* item = AllocItem();
-  LinkAfter(where->prev, item);
-  Status st = PlaceItem(item);
-  if (!st.ok()) {
-    Unlink(item);
-    items_[item->id] = nullptr;
-    delete item;
-    return st;
-  }
-  ++stats_.inserts;
-  return item->id;
+  return InsertLinked(where, cookie);
 }
 
-Result<ItemId> LinkedListScheme::PushBack() {
-  ListItem* item = AllocItem();
-  LinkAfter(tail_, item);
-  Status st = PlaceItem(item);
-  if (!st.ok()) {
-    Unlink(item);
-    items_[item->id] = nullptr;
-    delete item;
-    return st;
-  }
-  ++stats_.inserts;
-  return item->id;
+Result<ItemHandle> LinkedListScheme::InsertBefore(ItemHandle pos,
+                                                  LeafCookie cookie) {
+  LTREE_ASSIGN_OR_RETURN(ListItem * where, FindLive(pos));
+  return InsertLinked(where->prev, cookie);
 }
 
-Result<ItemId> LinkedListScheme::PushFront() {
-  ListItem* item = AllocItem();
-  LinkAfter(nullptr, item);
-  Status st = PlaceItem(item);
-  if (!st.ok()) {
-    Unlink(item);
-    items_[item->id] = nullptr;
-    delete item;
-    return st;
-  }
-  ++stats_.inserts;
-  return item->id;
+Result<ItemHandle> LinkedListScheme::PushBack(LeafCookie cookie) {
+  return InsertLinked(tail_, cookie);
 }
 
-Status LinkedListScheme::Erase(ItemId id) {
-  LTREE_ASSIGN_OR_RETURN(ListItem * item, FindLive(id));
+Result<ItemHandle> LinkedListScheme::PushFront(LeafCookie cookie) {
+  return InsertLinked(nullptr, cookie);
+}
+
+Status LinkedListScheme::Erase(ItemHandle h) {
+  if (h >= items_.size() || items_[h] == nullptr) {
+    return Status::NotFound("unknown item handle");
+  }
+  ListItem* item = items_[h];
+  if (item->erased) {
+    return Status::FailedPrecondition("item handle already erased");
+  }
   Unlink(item);
   item->erased = true;
   ++stats_.erases;
   return Status::OK();
 }
 
-Result<Label> LinkedListScheme::GetLabel(ItemId id) const {
-  LTREE_ASSIGN_OR_RETURN(ListItem * item, FindLive(id));
+Result<Label> LinkedListScheme::GetLabel(ItemHandle h) const {
+  LTREE_ASSIGN_OR_RETURN(ListItem * item, FindLive(h));
   return item->label;
+}
+
+Result<LeafCookie> LinkedListScheme::GetCookie(ItemHandle h) const {
+  LTREE_ASSIGN_OR_RETURN(ListItem * item, FindLive(h));
+  return item->cookie;
 }
 
 uint32_t LinkedListScheme::label_bits() const {

@@ -1,7 +1,8 @@
 // Shared doubly-linked-list plumbing for the label-on-node baseline schemes
-// (sequential, gap, Bender). Keeps item allocation, id lookup and the
-// generic parts of OrderMaintainer so each scheme only implements its label
-// policy.
+// (sequential, gap, Bender). Keeps item allocation, handle lookup and the
+// generic parts of LabelStore so each scheme only implements its label
+// policy. Erase physically unlinks (EraseSemantics::kPhysical): the label
+// value is vacated and may be reused by later insertions.
 
 #ifndef LTREE_LISTLAB_LINKED_LIST_BASE_H_
 #define LTREE_LISTLAB_LINKED_LIST_BASE_H_
@@ -14,27 +15,35 @@
 namespace ltree {
 namespace listlab {
 
-/// A list item with an explicit stored label.
+/// A list item with an explicit stored label and a client payload.
 struct ListItem {
   ListItem* prev = nullptr;
   ListItem* next = nullptr;
   Label label = 0;
-  ItemId id = 0;
+  ItemHandle handle = 0;
+  LeafCookie cookie = 0;
   bool erased = false;
 };
 
-/// Base class: owns the items, the id table and the list links.
-class LinkedListScheme : public OrderMaintainer {
+/// Base class: owns the items, the handle table and the list links.
+class LinkedListScheme : public LabelStore {
  public:
   ~LinkedListScheme() override;
 
-  Status BulkLoad(uint64_t n, std::vector<ItemId>* ids) final;
-  Result<ItemId> InsertAfter(ItemId pos) final;
-  Result<ItemId> InsertBefore(ItemId pos) final;
-  Result<ItemId> PushBack() final;
-  Result<ItemId> PushFront() final;
-  Status Erase(ItemId id) final;
-  Result<Label> GetLabel(ItemId id) const final;
+  EraseSemantics erase_semantics() const final {
+    return EraseSemantics::kPhysical;
+  }
+
+  using LabelStore::BulkLoad;
+  Status BulkLoad(std::span<const LeafCookie> cookies,
+                  std::vector<ItemHandle>* handles) final;
+  Result<ItemHandle> InsertAfter(ItemHandle pos, LeafCookie cookie) final;
+  Result<ItemHandle> InsertBefore(ItemHandle pos, LeafCookie cookie) final;
+  Result<ItemHandle> PushBack(LeafCookie cookie) final;
+  Result<ItemHandle> PushFront(LeafCookie cookie) final;
+  Status Erase(ItemHandle h) final;
+  Result<Label> GetLabel(ItemHandle h) const final;
+  Result<LeafCookie> GetCookie(ItemHandle h) const final;
   uint64_t size() const final { return live_; }
   uint32_t label_bits() const final;
   std::vector<Label> Labels() const final;
@@ -44,27 +53,35 @@ class LinkedListScheme : public OrderMaintainer {
 
  protected:
   /// Assigns initial labels for the n freshly linked items (head_ onward).
-  /// Called once from BulkLoad.
+  /// Called once from BulkLoad; must not fire the listener.
   virtual Status AssignInitialLabels(uint64_t n) = 0;
 
   /// Assigns `item`'s label given its linked neighbours (item is already
-  /// linked in). May relabel neighbours; must bump stats_ accordingly.
+  /// linked in). Relabels neighbours through SetLabel so stats and the
+  /// listener stay in sync.
   virtual Status PlaceItem(ListItem* item) = 0;
 
   /// Lowest label value a scheme may assign (0) and the exclusive upper
   /// bound of its current label universe (for bits accounting).
   virtual uint64_t LabelUniverse() const = 0;
 
-  Result<ListItem*> FindLive(ItemId id) const;
-  ListItem* AllocItem();
+  /// Writes `label` into `item`; if the value changed and `item` is not the
+  /// freshly inserted `fresh`, counts one relabel and fires the listener.
+  void SetLabel(ListItem* item, Label label, const ListItem* fresh);
+
+  Result<ListItem*> FindLive(ItemHandle h) const;
+  ListItem* AllocItem(LeafCookie cookie);
   void LinkAfter(ListItem* where, ListItem* item);   // where may be null: front
   void Unlink(ListItem* item);
 
   ListItem* head_ = nullptr;
   ListItem* tail_ = nullptr;
-  std::vector<ListItem*> items_;  // id -> item
+  std::vector<ListItem*> items_;  // handle -> item
   uint64_t live_ = 0;
   MaintStats stats_;
+
+ private:
+  Result<ItemHandle> InsertLinked(ListItem* where, LeafCookie cookie);
 };
 
 }  // namespace listlab

@@ -1,0 +1,330 @@
+#include "listlab/ltree_store.h"
+
+#include <numeric>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace ltree {
+namespace listlab {
+
+namespace {
+
+std::string SchemeName(const char* kind, const Params& params) {
+  return StrFormat("%s(f=%u,s=%u%s)", kind, params.f, params.s,
+                   params.purge_tombstones_on_split ? ",purge" : "");
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Materialized store
+// ---------------------------------------------------------------------------
+
+LTreeStore::LTreeStore(std::unique_ptr<LTree> tree) : tree_(std::move(tree)) {
+  tree_->set_listener(this);
+}
+
+Result<std::unique_ptr<LTreeStore>> LTreeStore::Make(const Params& params) {
+  LTREE_ASSIGN_OR_RETURN(std::unique_ptr<LTree> tree, LTree::Create(params));
+  return std::unique_ptr<LTreeStore>(new LTreeStore(std::move(tree)));
+}
+
+std::string LTreeStore::name() const {
+  return SchemeName("ltree", tree_->params());
+}
+
+void LTreeStore::OnRelabel(LeafCookie cookie, Label old_label,
+                           Label new_label) {
+  if (listener_ != nullptr) listener_->OnRelabel(cookie, old_label, new_label);
+}
+
+Result<LTree::LeafHandle> LTreeStore::LiveHandle(ItemHandle h) const {
+  if (h >= leaves_.size()) return Status::NotFound("unknown item handle");
+  if (erased_[h]) return Status::NotFound("item handle already erased");
+  return leaves_[h];
+}
+
+ItemHandle LTreeStore::Register(LTree::LeafHandle handle,
+                                std::vector<ItemHandle>* handles) {
+  leaves_.push_back(handle);
+  erased_.push_back(false);
+  const ItemHandle h = leaves_.size() - 1;
+  if (handles != nullptr) handles->push_back(h);
+  return h;
+}
+
+Status LTreeStore::BulkLoad(std::span<const LeafCookie> cookies,
+                            std::vector<ItemHandle>* handles) {
+  std::vector<LTree::LeafHandle> fresh;
+  LTREE_RETURN_IF_ERROR(tree_->BulkLoad(cookies, &fresh));
+  for (LTree::LeafHandle h : fresh) Register(h, handles);
+  return Status::OK();
+}
+
+Result<ItemHandle> LTreeStore::InsertAfter(ItemHandle pos, LeafCookie cookie) {
+  LTREE_ASSIGN_OR_RETURN(LTree::LeafHandle where, LiveHandle(pos));
+  LTREE_ASSIGN_OR_RETURN(LTree::LeafHandle fresh,
+                         tree_->InsertAfter(where, cookie));
+  return Register(fresh, nullptr);
+}
+
+Result<ItemHandle> LTreeStore::InsertBefore(ItemHandle pos,
+                                            LeafCookie cookie) {
+  LTREE_ASSIGN_OR_RETURN(LTree::LeafHandle where, LiveHandle(pos));
+  LTREE_ASSIGN_OR_RETURN(LTree::LeafHandle fresh,
+                         tree_->InsertBefore(where, cookie));
+  return Register(fresh, nullptr);
+}
+
+Result<ItemHandle> LTreeStore::PushBack(LeafCookie cookie) {
+  LTREE_ASSIGN_OR_RETURN(LTree::LeafHandle fresh, tree_->PushBack(cookie));
+  return Register(fresh, nullptr);
+}
+
+Result<ItemHandle> LTreeStore::PushFront(LeafCookie cookie) {
+  LTREE_ASSIGN_OR_RETURN(LTree::LeafHandle fresh, tree_->PushFront(cookie));
+  return Register(fresh, nullptr);
+}
+
+Status LTreeStore::InsertBatchAfter(ItemHandle pos,
+                                    std::span<const LeafCookie> cookies,
+                                    std::vector<ItemHandle>* handles) {
+  LTREE_ASSIGN_OR_RETURN(LTree::LeafHandle where, LiveHandle(pos));
+  std::vector<LTree::LeafHandle> fresh;
+  LTREE_RETURN_IF_ERROR(tree_->InsertBatchAfter(where, cookies, &fresh));
+  for (LTree::LeafHandle h : fresh) Register(h, handles);
+  return Status::OK();
+}
+
+Status LTreeStore::InsertBatchBefore(ItemHandle pos,
+                                     std::span<const LeafCookie> cookies,
+                                     std::vector<ItemHandle>* handles) {
+  LTREE_ASSIGN_OR_RETURN(LTree::LeafHandle where, LiveHandle(pos));
+  std::vector<LTree::LeafHandle> fresh;
+  LTREE_RETURN_IF_ERROR(tree_->InsertBatchBefore(where, cookies, &fresh));
+  for (LTree::LeafHandle h : fresh) Register(h, handles);
+  return Status::OK();
+}
+
+Status LTreeStore::PushBackBatch(std::span<const LeafCookie> cookies,
+                                 std::vector<ItemHandle>* handles) {
+  std::vector<LTree::LeafHandle> fresh;
+  LTREE_RETURN_IF_ERROR(tree_->PushBackBatch(cookies, &fresh));
+  for (LTree::LeafHandle h : fresh) Register(h, handles);
+  return Status::OK();
+}
+
+Status LTreeStore::Erase(ItemHandle h) {
+  if (h >= leaves_.size()) return Status::NotFound("unknown item handle");
+  if (erased_[h]) {
+    return Status::FailedPrecondition("item handle already erased");
+  }
+  LTREE_RETURN_IF_ERROR(tree_->MarkDeleted(leaves_[h]));
+  erased_[h] = true;
+  return Status::OK();
+}
+
+Result<Label> LTreeStore::GetLabel(ItemHandle h) const {
+  LTREE_ASSIGN_OR_RETURN(LTree::LeafHandle where, LiveHandle(h));
+  return tree_->label(where);
+}
+
+Result<LeafCookie> LTreeStore::GetCookie(ItemHandle h) const {
+  LTREE_ASSIGN_OR_RETURN(LTree::LeafHandle where, LiveHandle(h));
+  return tree_->cookie(where);
+}
+
+const MaintStats& LTreeStore::stats() const {
+  const LTreeStats& ts = tree_->stats();
+  stats_.inserts = ts.inserts + ts.batch_leaves;
+  stats_.erases = ts.deletes;
+  stats_.batch_inserts = ts.batch_inserts;
+  stats_.items_relabeled = ts.leaves_relabeled;
+  stats_.rebalances = ts.splits + ts.root_splits;
+  return stats_;
+}
+
+void LTreeStore::ResetStats() {
+  tree_->ResetStats();
+  stats_ = MaintStats();
+}
+
+// ---------------------------------------------------------------------------
+// Virtual store
+// ---------------------------------------------------------------------------
+
+VirtualLTreeStore::VirtualLTreeStore(std::unique_ptr<VirtualLTree> tree)
+    : tree_(std::move(tree)) {
+  tree_->set_listener(this);
+}
+
+Result<std::unique_ptr<VirtualLTreeStore>> VirtualLTreeStore::Make(
+    const Params& params) {
+  LTREE_ASSIGN_OR_RETURN(std::unique_ptr<VirtualLTree> tree,
+                         VirtualLTree::Create(params));
+  return std::unique_ptr<VirtualLTreeStore>(
+      new VirtualLTreeStore(std::move(tree)));
+}
+
+std::string VirtualLTreeStore::name() const {
+  return SchemeName("virtual-ltree", tree_->params());
+}
+
+void VirtualLTreeStore::OnRelabel(LeafCookie cookie, Label old_label,
+                                  Label new_label) {
+  // The tree's leaf cookies are our item handles; the client payload lives
+  // in cookie_of_.
+  const ItemHandle h = cookie;
+  LTREE_CHECK(h < label_of_.size());
+  label_of_[h] = new_label;
+  if (listener_ != nullptr) {
+    listener_->OnRelabel(cookie_of_[h], old_label, new_label);
+  }
+}
+
+Result<Label> VirtualLTreeStore::CurrentLabel(ItemHandle h) const {
+  if (h >= label_of_.size()) return Status::NotFound("unknown item handle");
+  if (erased_[h]) return Status::NotFound("item handle already erased");
+  return label_of_[h];
+}
+
+ItemHandle VirtualLTreeStore::Reserve(std::span<const LeafCookie> cookies) {
+  const ItemHandle first = label_of_.size();
+  for (const LeafCookie cookie : cookies) {
+    label_of_.push_back(kInvalidLabel);
+    cookie_of_.push_back(cookie);
+    erased_.push_back(false);
+  }
+  return first;
+}
+
+void VirtualLTreeStore::Unreserve(uint64_t k) {
+  label_of_.resize(label_of_.size() - k);
+  cookie_of_.resize(cookie_of_.size() - k);
+  erased_.resize(erased_.size() - k);
+}
+
+template <typename Op>
+Status VirtualLTreeStore::RunBatch(std::span<const LeafCookie> cookies,
+                                   std::vector<ItemHandle>* handles,
+                                   Op&& op) {
+  const ItemHandle first = Reserve(cookies);
+  std::vector<LeafCookie> tree_cookies(cookies.size());
+  std::iota(tree_cookies.begin(), tree_cookies.end(), first);
+  std::vector<Label> labels;
+  Status st = op(std::span<const LeafCookie>(tree_cookies), &labels);
+  if (!st.ok()) {
+    Unreserve(cookies.size());
+    return st;
+  }
+  for (size_t i = 0; i < labels.size(); ++i) {
+    label_of_[first + i] = labels[i];
+    if (handles != nullptr) handles->push_back(first + i);
+  }
+  return Status::OK();
+}
+
+template <typename Op>
+Result<ItemHandle> VirtualLTreeStore::RunSingle(LeafCookie cookie, Op&& op) {
+  const ItemHandle h = Reserve({&cookie, 1});
+  Result<Label> fresh = op(h);
+  if (!fresh.ok()) {
+    Unreserve(1);
+    return fresh.status();
+  }
+  label_of_[h] = *fresh;
+  return h;
+}
+
+Status VirtualLTreeStore::BulkLoad(std::span<const LeafCookie> cookies,
+                                   std::vector<ItemHandle>* handles) {
+  return RunBatch(cookies, handles, [&](auto tree_cookies, auto* labels) {
+    return tree_->BulkLoad(tree_cookies, labels);
+  });
+}
+
+Result<ItemHandle> VirtualLTreeStore::InsertAfter(ItemHandle pos,
+                                                  LeafCookie cookie) {
+  LTREE_ASSIGN_OR_RETURN(Label where, CurrentLabel(pos));
+  return RunSingle(cookie,
+                   [&](ItemHandle h) { return tree_->InsertAfter(where, h); });
+}
+
+Result<ItemHandle> VirtualLTreeStore::InsertBefore(ItemHandle pos,
+                                                   LeafCookie cookie) {
+  LTREE_ASSIGN_OR_RETURN(Label where, CurrentLabel(pos));
+  return RunSingle(cookie,
+                   [&](ItemHandle h) { return tree_->InsertBefore(where, h); });
+}
+
+Result<ItemHandle> VirtualLTreeStore::PushBack(LeafCookie cookie) {
+  return RunSingle(cookie, [&](ItemHandle h) { return tree_->PushBack(h); });
+}
+
+Result<ItemHandle> VirtualLTreeStore::PushFront(LeafCookie cookie) {
+  return RunSingle(cookie, [&](ItemHandle h) { return tree_->PushFront(h); });
+}
+
+Status VirtualLTreeStore::InsertBatchAfter(ItemHandle pos,
+                                           std::span<const LeafCookie> cookies,
+                                           std::vector<ItemHandle>* handles) {
+  LTREE_ASSIGN_OR_RETURN(Label where, CurrentLabel(pos));
+  return RunBatch(cookies, handles, [&](auto tree_cookies, auto* labels) {
+    return tree_->InsertBatchAfter(where, tree_cookies, labels);
+  });
+}
+
+Status VirtualLTreeStore::InsertBatchBefore(
+    ItemHandle pos, std::span<const LeafCookie> cookies,
+    std::vector<ItemHandle>* handles) {
+  LTREE_ASSIGN_OR_RETURN(Label where, CurrentLabel(pos));
+  return RunBatch(cookies, handles, [&](auto tree_cookies, auto* labels) {
+    return tree_->InsertBatchBefore(where, tree_cookies, labels);
+  });
+}
+
+Status VirtualLTreeStore::PushBackBatch(std::span<const LeafCookie> cookies,
+                                        std::vector<ItemHandle>* handles) {
+  return RunBatch(cookies, handles, [&](auto tree_cookies, auto* labels) {
+    return tree_->PushBackBatch(tree_cookies, labels);
+  });
+}
+
+Status VirtualLTreeStore::Erase(ItemHandle h) {
+  if (h >= label_of_.size()) return Status::NotFound("unknown item handle");
+  if (erased_[h]) {
+    return Status::FailedPrecondition("item handle already erased");
+  }
+  LTREE_RETURN_IF_ERROR(tree_->MarkDeleted(label_of_[h]));
+  erased_[h] = true;
+  return Status::OK();
+}
+
+Result<Label> VirtualLTreeStore::GetLabel(ItemHandle h) const {
+  return CurrentLabel(h);
+}
+
+Result<LeafCookie> VirtualLTreeStore::GetCookie(ItemHandle h) const {
+  if (h >= cookie_of_.size()) return Status::NotFound("unknown item handle");
+  if (erased_[h]) return Status::NotFound("item handle already erased");
+  return cookie_of_[h];
+}
+
+const MaintStats& VirtualLTreeStore::stats() const {
+  const VirtualLTreeStats& ts = tree_->stats();
+  stats_.inserts = ts.inserts + ts.batch_leaves;
+  stats_.erases = ts.deletes;
+  stats_.batch_inserts = ts.batch_inserts;
+  stats_.items_relabeled = ts.labels_rewritten;
+  stats_.rebalances = ts.splits + ts.root_splits;
+  return stats_;
+}
+
+void VirtualLTreeStore::ResetStats() {
+  tree_->ResetStats();
+  stats_ = MaintStats();
+}
+
+}  // namespace listlab
+}  // namespace ltree

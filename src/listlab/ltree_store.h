@@ -1,0 +1,136 @@
+// LabelStore implementations for the paper's two L-Tree variants, so the
+// docstore, benches and tests can drive every scheme with the same op
+// stream and no leaked core types.
+
+#ifndef LTREE_LISTLAB_LTREE_STORE_H_
+#define LTREE_LISTLAB_LTREE_STORE_H_
+
+#include <memory>
+
+#include "core/ltree.h"
+#include "listlab/order_maintainer.h"
+#include "virtual_ltree/virtual_ltree.h"
+
+namespace ltree {
+namespace listlab {
+
+/// Materialized L-Tree behind the LabelStore interface. Handles map to leaf
+/// nodes internally; erase tombstones (Section 2.3), optionally purged at
+/// the next covering split when Params::purge_tombstones_on_split is set.
+class LTreeStore : public LabelStore, private RelabelListener {
+ public:
+  static Result<std::unique_ptr<LTreeStore>> Make(const Params& params);
+
+  std::string name() const override;
+  EraseSemantics erase_semantics() const override {
+    return tree_->params().purge_tombstones_on_split
+               ? EraseSemantics::kTombstonePurge
+               : EraseSemantics::kTombstone;
+  }
+  using LabelStore::BulkLoad;
+  Status BulkLoad(std::span<const LeafCookie> cookies,
+                  std::vector<ItemHandle>* handles) override;
+  Result<ItemHandle> InsertAfter(ItemHandle pos, LeafCookie cookie) override;
+  Result<ItemHandle> InsertBefore(ItemHandle pos, LeafCookie cookie) override;
+  Result<ItemHandle> PushBack(LeafCookie cookie) override;
+  Result<ItemHandle> PushFront(LeafCookie cookie) override;
+  Status InsertBatchAfter(ItemHandle pos, std::span<const LeafCookie> cookies,
+                          std::vector<ItemHandle>* handles) override;
+  Status InsertBatchBefore(ItemHandle pos, std::span<const LeafCookie> cookies,
+                           std::vector<ItemHandle>* handles) override;
+  Status PushBackBatch(std::span<const LeafCookie> cookies,
+                       std::vector<ItemHandle>* handles) override;
+  Status Erase(ItemHandle h) override;
+  Result<Label> GetLabel(ItemHandle h) const override;
+  Result<LeafCookie> GetCookie(ItemHandle h) const override;
+  uint64_t size() const override { return tree_->num_live_leaves(); }
+  uint32_t label_bits() const override { return tree_->label_bits(); }
+  std::vector<Label> Labels() const override { return tree_->LiveLabels(); }
+  const MaintStats& stats() const override;
+  void ResetStats() override;
+  Status CheckInvariants() const override { return tree_->CheckInvariants(); }
+
+  /// The wrapped tree (read-only; for L-Tree-specific stats in benches).
+  const LTree& tree() const { return *tree_; }
+
+ private:
+  explicit LTreeStore(std::unique_ptr<LTree> tree);
+  void OnRelabel(LeafCookie cookie, Label old_label, Label new_label) override;
+  Result<LTree::LeafHandle> LiveHandle(ItemHandle h) const;
+  ItemHandle Register(LTree::LeafHandle handle,
+                      std::vector<ItemHandle>* handles);
+
+  std::unique_ptr<LTree> tree_;
+  std::vector<LTree::LeafHandle> leaves_;  // handle -> leaf node
+  /// Erased flags, tracked here because a purge may free the leaf node a
+  /// stale handle points at — leaves_[h] must never be dereferenced once
+  /// erased_[h] is set.
+  std::vector<bool> erased_;
+  mutable MaintStats stats_;
+};
+
+/// Virtual L-Tree behind the LabelStore interface: no stable positions
+/// exist inside the tree (only labels), so the store keeps the
+/// handle <-> current-label map over the counted B+-tree, maintained
+/// through the tree's RelabelListener.
+class VirtualLTreeStore : public LabelStore, private RelabelListener {
+ public:
+  static Result<std::unique_ptr<VirtualLTreeStore>> Make(const Params& params);
+
+  std::string name() const override;
+  EraseSemantics erase_semantics() const override {
+    return tree_->params().purge_tombstones_on_split
+               ? EraseSemantics::kTombstonePurge
+               : EraseSemantics::kTombstone;
+  }
+  using LabelStore::BulkLoad;
+  Status BulkLoad(std::span<const LeafCookie> cookies,
+                  std::vector<ItemHandle>* handles) override;
+  Result<ItemHandle> InsertAfter(ItemHandle pos, LeafCookie cookie) override;
+  Result<ItemHandle> InsertBefore(ItemHandle pos, LeafCookie cookie) override;
+  Result<ItemHandle> PushBack(LeafCookie cookie) override;
+  Result<ItemHandle> PushFront(LeafCookie cookie) override;
+  Status InsertBatchAfter(ItemHandle pos, std::span<const LeafCookie> cookies,
+                          std::vector<ItemHandle>* handles) override;
+  Status InsertBatchBefore(ItemHandle pos, std::span<const LeafCookie> cookies,
+                           std::vector<ItemHandle>* handles) override;
+  Status PushBackBatch(std::span<const LeafCookie> cookies,
+                       std::vector<ItemHandle>* handles) override;
+  Status Erase(ItemHandle h) override;
+  Result<Label> GetLabel(ItemHandle h) const override;
+  Result<LeafCookie> GetCookie(ItemHandle h) const override;
+  uint64_t size() const override { return tree_->num_live_leaves(); }
+  uint32_t label_bits() const override { return tree_->label_bits(); }
+  std::vector<Label> Labels() const override { return tree_->LiveLabels(); }
+  const MaintStats& stats() const override;
+  void ResetStats() override;
+  Status CheckInvariants() const override { return tree_->CheckInvariants(); }
+
+  const VirtualLTree& tree() const { return *tree_; }
+
+ private:
+  explicit VirtualLTreeStore(std::unique_ptr<VirtualLTree> tree);
+  void OnRelabel(LeafCookie cookie, Label old_label, Label new_label) override;
+  Result<Label> CurrentLabel(ItemHandle h) const;
+  /// Reserves slots for k fresh items; returns the first new handle.
+  ItemHandle Reserve(std::span<const LeafCookie> cookies);
+  void Unreserve(uint64_t k);
+  /// Shared reserve -> run tree op (fed the reserved handles as tree
+  /// cookies) -> record labels / roll back plumbing behind every insert.
+  template <typename Op>
+  Status RunBatch(std::span<const LeafCookie> cookies,
+                  std::vector<ItemHandle>* handles, Op&& op);
+  template <typename Op>
+  Result<ItemHandle> RunSingle(LeafCookie cookie, Op&& op);
+
+  std::unique_ptr<VirtualLTree> tree_;
+  std::vector<Label> label_of_;       // handle -> current label
+  std::vector<LeafCookie> cookie_of_; // handle -> client payload
+  std::vector<bool> erased_;
+  mutable MaintStats stats_;
+};
+
+}  // namespace listlab
+}  // namespace ltree
+
+#endif  // LTREE_LISTLAB_LTREE_STORE_H_

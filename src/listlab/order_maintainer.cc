@@ -1,0 +1,120 @@
+#include "listlab/order_maintainer.h"
+
+#include <numeric>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace ltree {
+namespace listlab {
+
+const char* EraseSemanticsName(EraseSemantics semantics) {
+  switch (semantics) {
+    case EraseSemantics::kTombstone:
+      return "tombstone";
+    case EraseSemantics::kTombstonePurge:
+      return "tombstone+purge";
+    case EraseSemantics::kPhysical:
+      return "physical";
+  }
+  return "unknown";
+}
+
+std::string MaintStats::ToString() const {
+  return StrFormat(
+      "MaintStats{inserts=%llu erases=%llu batches=%llu relabeled=%llu "
+      "rebalances=%llu relabels/insert=%.3f}",
+      static_cast<unsigned long long>(inserts),
+      static_cast<unsigned long long>(erases),
+      static_cast<unsigned long long>(batch_inserts),
+      static_cast<unsigned long long>(items_relabeled),
+      static_cast<unsigned long long>(rebalances), RelabelsPerInsert());
+}
+
+Status LabelStore::BulkLoad(uint64_t n, std::vector<ItemHandle>* handles) {
+  std::vector<LeafCookie> cookies(n);
+  std::iota(cookies.begin(), cookies.end(), LeafCookie{0});
+  return BulkLoad(cookies, handles);
+}
+
+// Default batch paths: per-item insertion, preserving batch order. Schemes
+// with a native single-rebalance batch (the L-Tree variants) override.
+// A batch is all-or-nothing: on a mid-batch failure the already inserted
+// items are erased again, so callers never see a half-applied batch.
+
+namespace {
+
+Status FinishBatch(LabelStore* store, Status st,
+                   std::vector<ItemHandle>&& fresh,
+                   std::vector<ItemHandle>* handles) {
+  if (!st.ok()) {
+    for (auto it = fresh.rbegin(); it != fresh.rend(); ++it) {
+      (void)store->Erase(*it);
+    }
+    return st;
+  }
+  if (handles != nullptr) {
+    handles->insert(handles->end(), fresh.begin(), fresh.end());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status LabelStore::InsertBatchAfter(ItemHandle pos,
+                                    std::span<const LeafCookie> cookies,
+                                    std::vector<ItemHandle>* handles) {
+  std::vector<ItemHandle> fresh;
+  Status st = Status::OK();
+  ItemHandle anchor = pos;
+  for (const LeafCookie cookie : cookies) {
+    auto h = InsertAfter(anchor, cookie);
+    if (!h.ok()) {
+      st = h.status();
+      break;
+    }
+    anchor = *h;
+    fresh.push_back(anchor);
+  }
+  return FinishBatch(this, std::move(st), std::move(fresh), handles);
+}
+
+Status LabelStore::InsertBatchBefore(ItemHandle pos,
+                                     std::span<const LeafCookie> cookies,
+                                     std::vector<ItemHandle>* handles) {
+  if (cookies.empty()) return Status::OK();
+  std::vector<ItemHandle> fresh;
+  Status st = Status::OK();
+  auto first = InsertBefore(pos, cookies[0]);
+  if (!first.ok()) return first.status();
+  ItemHandle anchor = *first;
+  fresh.push_back(anchor);
+  for (const LeafCookie cookie : cookies.subspan(1)) {
+    auto h = InsertAfter(anchor, cookie);
+    if (!h.ok()) {
+      st = h.status();
+      break;
+    }
+    anchor = *h;
+    fresh.push_back(anchor);
+  }
+  return FinishBatch(this, std::move(st), std::move(fresh), handles);
+}
+
+Status LabelStore::PushBackBatch(std::span<const LeafCookie> cookies,
+                                 std::vector<ItemHandle>* handles) {
+  std::vector<ItemHandle> fresh;
+  Status st = Status::OK();
+  for (const LeafCookie cookie : cookies) {
+    auto h = PushBack(cookie);
+    if (!h.ok()) {
+      st = h.status();
+      break;
+    }
+    fresh.push_back(*h);
+  }
+  return FinishBatch(this, std::move(st), std::move(fresh), handles);
+}
+
+}  // namespace listlab
+}  // namespace ltree

@@ -1,42 +1,88 @@
-// Order-maintenance framework.
+// LabelStore: the unified order-maintenance / labeling interface.
 //
 // The paper frames XML label maintenance as "maintenance of an ordered
 // list" (Section 2): assign integer labels to list items so that list order
 // equals label order, and bound how many labels change per insertion. This
-// header defines the uniform interface implemented by:
+// header defines the single abstract interface every labeling scheme in
+// this library implements:
 //
-//   * the L-Tree (materialized and virtual) — the paper's contribution;
+//   * the L-Tree, materialized (LTreeStore) and virtual (VirtualLTreeStore)
+//     — the paper's contribution (Sections 2-4);
 //   * SequentialList — the Section 1 strawman (consecutive integers, suffix
 //     shifts on insert, ~n/2 relabels on average);
 //   * GapList — fixed gaps of size G, full renumbering when a gap fills;
 //   * BenderList — density-scaled aligned-range relabeling in the spirit of
 //     the order-maintenance literature the paper cites ([8, 9, 16]).
 //
-// Items are addressed by stable ItemIds assigned by the maintainer, so
-// benches and tests can drive every scheme with identical op streams.
+// Items are addressed by opaque, stable ItemHandles assigned by the store
+// (no scheme-internal pointers leak), carry a client LeafCookie payload
+// (e.g. an XML tag id), and report label changes through a RelabelListener,
+// so the whole XML pipeline — parse, node table, label joins, fragment
+// edits — can run unchanged over any scheme. Construct stores by spec
+// string via listlab::MakeLabelStore (factory.h).
+//
+// ## Erase semantics
+//
+// Erase(h) removes the item from the order; the handle becomes invalid and
+// every further operation on it fails (double-erase is FailedPrecondition
+// in every scheme). What happens to the *label slot* is scheme-specific,
+// and deliberately so — it is exactly the trade-off the paper discusses in
+// Section 2.3:
+//
+//   * LTreeStore / VirtualLTreeStore — tombstone: the slot stays occupied
+//     and keeps consuming leaf budget, no relabeling happens
+//     (EraseSemantics::kTombstone). With Params::purge_tombstones_on_split
+//     (spec suffix ":purge") tombstones are physically dropped whenever a
+//     split rebuilds the subtree containing them
+//     (EraseSemantics::kTombstonePurge).
+//   * SequentialList / GapList / BenderList — physical unlink: the item
+//     leaves the list immediately and its label value is vacated for reuse
+//     by later insertions (EraseSemantics::kPhysical).
+//
+// Callers that care (benches measuring slot occupancy, the docstore's
+// consistency checks) can query erase_semantics(); callers that only need
+// "the handle is gone either way" need not.
 
 #ifndef LTREE_LISTLAB_ORDER_MAINTAINER_H_
 #define LTREE_LISTLAB_ORDER_MAINTAINER_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
 #include "core/params.h"
+#include "core/relabel_listener.h"
 
 namespace ltree {
 namespace listlab {
 
-/// Stable item identifier (survives relabeling).
-using ItemId = uint64_t;
+/// Opaque stable item handle (survives relabeling and rebalancing; only
+/// Erase and store destruction invalidate it).
+using ItemHandle = uint64_t;
+
+/// Never a valid handle.
+inline constexpr ItemHandle kInvalidItemHandle = ~ItemHandle{0};
+
+/// How Erase treats the label slot (see the header comment).
+enum class EraseSemantics {
+  kTombstone,       ///< slot stays occupied forever (L-Tree default)
+  kTombstonePurge,  ///< tombstoned, dropped at the next covering rebuild
+  kPhysical,        ///< unlinked immediately, label value reusable
+};
+
+const char* EraseSemanticsName(EraseSemantics semantics);
 
 /// Uniform cost accounting across schemes. "Relabels" is the paper's
 /// currency: the number of stored labels that changed.
 struct MaintStats {
-  uint64_t inserts = 0;
+  uint64_t inserts = 0;  ///< items inserted (batch items count individually)
   uint64_t erases = 0;
+  /// Batch insertions performed (one per InsertBatch*/PushBackBatch call
+  /// that went down a native batch path; fallback per-item loops count 0).
+  uint64_t batch_inserts = 0;
   /// Existing items whose label changed (excludes the inserted item itself).
   uint64_t items_relabeled = 0;
   /// Rebalance/renumber events (splits for the L-Tree, window
@@ -52,28 +98,72 @@ struct MaintStats {
   std::string ToString() const;
 };
 
-class OrderMaintainer {
+/// The unified labeling interface. Thread-compatibility: externally
+/// synchronized (like an STL container).
+class LabelStore {
  public:
-  virtual ~OrderMaintainer() = default;
+  virtual ~LabelStore() = default;
 
   /// Scheme name for bench tables (e.g. "ltree(f=16,s=4)").
   virtual std::string name() const = 0;
 
-  /// Loads n items into an empty list; returns their ids in list order.
-  virtual Status BulkLoad(uint64_t n, std::vector<ItemId>* ids) = 0;
+  /// What Erase does to the label slot (see the header comment).
+  virtual EraseSemantics erase_semantics() const = 0;
 
-  virtual Result<ItemId> InsertAfter(ItemId pos) = 0;
-  virtual Result<ItemId> InsertBefore(ItemId pos) = 0;
-  /// Works on an empty list.
-  virtual Result<ItemId> PushBack() = 0;
-  virtual Result<ItemId> PushFront() = 0;
+  // ---------------------------------------------------------------- loading
 
-  /// Removes an item from the order (tombstone or physical, scheme's
-  /// choice; the id becomes invalid either way).
-  virtual Status Erase(ItemId id) = 0;
+  /// Loads `cookies.size()` items into an empty store in list order
+  /// (Section 2.2 bulk load). If `handles` is non-null it receives one
+  /// handle per cookie, in order. Does not fire the RelabelListener and
+  /// does not count toward the incremental-maintenance statistics.
+  virtual Status BulkLoad(std::span<const LeafCookie> cookies,
+                          std::vector<ItemHandle>* handles = nullptr) = 0;
+
+  /// Convenience: bulk loads n items with cookies 0..n-1.
+  Status BulkLoad(uint64_t n, std::vector<ItemHandle>* handles = nullptr);
+
+  // ---------------------------------------------------------------- updates
+
+  virtual Result<ItemHandle> InsertAfter(ItemHandle pos,
+                                         LeafCookie cookie) = 0;
+  virtual Result<ItemHandle> InsertBefore(ItemHandle pos,
+                                          LeafCookie cookie) = 0;
+  /// Works on an empty store.
+  virtual Result<ItemHandle> PushBack(LeafCookie cookie) = 0;
+  virtual Result<ItemHandle> PushFront(LeafCookie cookie) = 0;
+
+  /// Inserts `cookies.size()` consecutive items right after `pos` (the
+  /// paper's Section 4.1 bulk insertion). Appends the new handles to
+  /// `handles` if non-null. Schemes with a native batch path (the two
+  /// L-Tree variants) pay a single rebalance; the base-class default falls
+  /// back to per-item insertion with identical final order. Batches are
+  /// all-or-nothing: a mid-batch failure erases the partial prefix before
+  /// returning the error.
+  virtual Status InsertBatchAfter(ItemHandle pos,
+                                  std::span<const LeafCookie> cookies,
+                                  std::vector<ItemHandle>* handles = nullptr);
+
+  /// Batch insertion immediately before `pos`.
+  virtual Status InsertBatchBefore(ItemHandle pos,
+                                   std::span<const LeafCookie> cookies,
+                                   std::vector<ItemHandle>* handles = nullptr);
+
+  /// Appends a batch at the end (works on an empty store).
+  virtual Status PushBackBatch(std::span<const LeafCookie> cookies,
+                               std::vector<ItemHandle>* handles = nullptr);
+
+  /// Removes an item from the order (see "Erase semantics" above). Fails
+  /// with NotFound for a handle the store never issued and with
+  /// FailedPrecondition for an already erased handle — in every scheme.
+  virtual Status Erase(ItemHandle h) = 0;
+
+  // ---------------------------------------------------------------- queries
 
   /// Current label of a live item. Order of labels == list order.
-  virtual Result<Label> GetLabel(ItemId id) const = 0;
+  virtual Result<Label> GetLabel(ItemHandle h) const = 0;
+
+  /// The client payload attached at insertion time.
+  virtual Result<LeafCookie> GetCookie(ItemHandle h) const = 0;
 
   /// Live item count.
   virtual uint64_t size() const = 0;
@@ -84,11 +174,18 @@ class OrderMaintainer {
   /// Live labels in list order (for order-preservation checks).
   virtual std::vector<Label> Labels() const = 0;
 
+  /// Receives label-change notifications; may be nullptr.
+  void set_listener(RelabelListener* listener) { listener_ = listener; }
+  RelabelListener* listener() const { return listener_; }
+
   virtual const MaintStats& stats() const = 0;
   virtual void ResetStats() = 0;
 
   /// Structural self-check for tests.
   virtual Status CheckInvariants() const = 0;
+
+ protected:
+  RelabelListener* listener_ = nullptr;
 };
 
 }  // namespace listlab

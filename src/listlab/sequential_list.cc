@@ -23,8 +23,7 @@ Status SequentialList::PlaceItem(ListItem* item) {
   bool shifted = false;
   for (ListItem* cur = item->next; cur != nullptr && cur->label < expected;
        cur = cur->next) {
-    cur->label = expected++;
-    ++stats_.items_relabeled;
+    SetLabel(cur, expected++, item);
     shifted = true;
     max_label_ = std::max(max_label_, cur->label);
   }

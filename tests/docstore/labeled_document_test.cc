@@ -15,24 +15,24 @@ namespace ltree {
 namespace docstore {
 namespace {
 
-constexpr Params kParams{.f = 8, .s = 2};
+const char* const kScheme = "ltree:8:2";
 
 TEST(LabeledDocumentTest, BuildFromXml) {
   auto store = LabeledDocument::FromXml(
-      "<book><chapter><title/></chapter><title/></book>", kParams);
+      "<book><chapter><title/></chapter><title/></book>", kScheme);
   ASSERT_TRUE(store.ok());
   EXPECT_EQ((*store)->table().size(), 4u);
   EXPECT_TRUE((*store)->CheckConsistency().ok());
 }
 
 TEST(LabeledDocumentTest, RejectsMalformedXml) {
-  EXPECT_FALSE(LabeledDocument::FromXml("<a>", kParams).ok());
-  EXPECT_FALSE(LabeledDocument::FromXml("", kParams).ok());
+  EXPECT_FALSE(LabeledDocument::FromXml("<a>", kScheme).ok());
+  EXPECT_FALSE(LabeledDocument::FromXml("", kScheme).ok());
 }
 
 TEST(LabeledDocumentTest, RegionsReflectAncestry) {
   auto store = LabeledDocument::FromXml(
-      "<book><chapter><title/></chapter><title/></book>", kParams)
+      "<book><chapter><title/></chapter><title/></book>", kScheme)
                    .MoveValueUnsafe();
   const xml::Node* book = store->document().root();
   const xml::Node* chapter = book->first_child;
@@ -49,7 +49,7 @@ TEST(LabeledDocumentTest, RegionsReflectAncestry) {
 
 TEST(LabeledDocumentTest, InsertElementKeepsQueriesCorrect) {
   auto store = LabeledDocument::FromXml(
-      "<book><chapter><title/></chapter></book>", kParams)
+      "<book><chapter><title/></chapter></book>", kScheme)
                    .MoveValueUnsafe();
   const xml::Node* book = store->document().root();
   const xml::NodeId book_id = book->id;
@@ -73,7 +73,7 @@ TEST(LabeledDocumentTest, InsertElementKeepsQueriesCorrect) {
 
 TEST(LabeledDocumentTest, InsertAfterSpecificSibling) {
   auto store =
-      LabeledDocument::FromXml("<r><a/><c/></r>", kParams).MoveValueUnsafe();
+      LabeledDocument::FromXml("<r><a/><c/></r>", kScheme).MoveValueUnsafe();
   const xml::Node* r = store->document().root();
   const xml::NodeId a_id = r->first_child->id;
   auto b = store->InsertElement(r->id, a_id, "b");
@@ -96,7 +96,7 @@ TEST(LabeledDocumentTest, InsertAfterSpecificSibling) {
 
 TEST(LabeledDocumentTest, InsertErrors) {
   auto store =
-      LabeledDocument::FromXml("<r><a/></r>", kParams).MoveValueUnsafe();
+      LabeledDocument::FromXml("<r><a/></r>", kScheme).MoveValueUnsafe();
   const xml::NodeId root_id = store->document().root()->id;
   EXPECT_TRUE(store->InsertElement(9999, 0, "x").status().IsNotFound());
   EXPECT_TRUE(
@@ -109,7 +109,7 @@ TEST(LabeledDocumentTest, InsertErrors) {
 
 TEST(LabeledDocumentTest, InsertTextOccupiesOrderSlot) {
   auto store =
-      LabeledDocument::FromXml("<r><a/><b/></r>", kParams).MoveValueUnsafe();
+      LabeledDocument::FromXml("<r><a/><b/></r>", kScheme).MoveValueUnsafe();
   const xml::Node* r = store->document().root();
   const xml::NodeId a_id = r->first_child->id;
   const xml::NodeId b_id = r->last_child->id;
@@ -124,16 +124,17 @@ TEST(LabeledDocumentTest, InsertTextOccupiesOrderSlot) {
 
 TEST(LabeledDocumentTest, FragmentInsertIsOneBatch) {
   auto store =
-      LabeledDocument::FromXml("<site><books/></site>", kParams)
+      LabeledDocument::FromXml("<site><books/></site>", kScheme)
           .MoveValueUnsafe();
   const xml::Node* books = store->document().root()->first_child;
-  const uint64_t batches_before = store->ltree().stats().batch_inserts;
+  const uint64_t batches_before =
+      store->label_store().stats().batch_inserts;
   auto frag = store->InsertFragment(
       books->id, 0,
       "<book id=\"b1\"><title>T</title><chapter><para>p</para></chapter>"
       "</book>");
   ASSERT_TRUE(frag.ok());
-  EXPECT_EQ(store->ltree().stats().batch_inserts, batches_before + 1)
+  EXPECT_EQ(store->label_store().stats().batch_inserts, batches_before + 1)
       << "the whole fragment enters as a single Section 4.1 batch";
   EXPECT_TRUE(store->CheckConsistency().ok());
   // The fragment is queryable immediately.
@@ -148,7 +149,7 @@ TEST(LabeledDocumentTest, FragmentInsertIsOneBatch) {
 
 TEST(LabeledDocumentTest, FragmentRejectsBadXml) {
   auto store =
-      LabeledDocument::FromXml("<r/>", kParams).MoveValueUnsafe();
+      LabeledDocument::FromXml("<r/>", kScheme).MoveValueUnsafe();
   const xml::NodeId root_id = store->document().root()->id;
   EXPECT_TRUE(
       store->InsertFragment(root_id, 0, "<oops>").status().IsParseError());
@@ -157,14 +158,14 @@ TEST(LabeledDocumentTest, FragmentRejectsBadXml) {
 
 TEST(LabeledDocumentTest, DeleteSubtree) {
   auto store = LabeledDocument::FromXml(
-      "<r><a><b/><c/></a><d/></r>", kParams)
+      "<r><a><b/><c/></a><d/></r>", kScheme)
                    .MoveValueUnsafe();
   const xml::Node* r = store->document().root();
   const xml::NodeId a_id = r->first_child->id;
-  const uint64_t live_before = store->ltree().num_live_leaves();
+  const uint64_t live_before = store->label_store().size();
   ASSERT_TRUE(store->DeleteSubtree(a_id).ok());
   // a, b, c each had 2 leaves -> 6 tombstones.
-  EXPECT_EQ(store->ltree().num_live_leaves(), live_before - 6);
+  EXPECT_EQ(store->label_store().size(), live_before - 6);
   EXPECT_EQ(store->table().size(), 2u);  // r and d remain
   EXPECT_TRUE(store->GetRegion(a_id).status().IsNotFound());
   EXPECT_TRUE(store->DeleteSubtree(a_id).IsNotFound());
@@ -175,7 +176,7 @@ TEST(LabeledDocumentTest, DeleteSubtree) {
 
 TEST(LabeledDocumentTest, RandomEditStormStaysConsistent) {
   auto store = LabeledDocument::FromDocument(
-                   workload::GenerateCatalog(10, 2, 3), Params{.f = 4, .s = 2})
+                   workload::GenerateCatalog(10, 2, 3), "ltree:4:2")
                    .MoveValueUnsafe();
   Rng rng(99);
   std::vector<xml::NodeId> elements;

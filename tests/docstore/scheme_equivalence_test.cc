@@ -1,0 +1,119 @@
+// Randomized edit-script equivalence suite (the acceptance gate for the
+// scheme-pluggable pipeline): drive LabeledDocument over every labeling
+// scheme spec with a random stream of fragment/element/text insertions and
+// subtree deletions, and after every step assert
+//   * label-plan query results == naive DOM ground truth
+//     (EvaluateWithLabels vs. EvaluateOnDocument), and
+//   * labels are order-preserving along the tag stream.
+// If any scheme's relabel notifications, batch path or erase semantics
+// desynced the node table, these checks catch it at the op that broke.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "docstore/labeled_document.h"
+#include "query/path_query.h"
+#include "workload/xml_generator.h"
+
+namespace ltree {
+namespace docstore {
+namespace {
+
+class SchemeEquivalenceTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SchemeEquivalenceTest, RandomEditScriptMatchesDomGroundTruth) {
+  const std::string spec = GetParam();
+  auto store = LabeledDocument::FromXml(workload::GenerateCatalogXml(8, 2, 42),
+                                        spec)
+                   .MoveValueUnsafe();
+  ASSERT_EQ(store->scheme_spec(), spec);
+
+  const char* paths[] = {"//book//title", "//chapter/para", "/site//*",
+                         "//edit", "/site/books/book"};
+  auto verify = [&](int op) {
+    // Query equivalence against the DOM ground truth.
+    for (const char* path : paths) {
+      auto q = query::PathQuery::Parse(path).ValueOrDie();
+      std::vector<xml::NodeId> label_ids;
+      for (const auto* row : query::EvaluateWithLabels(q, store->table())) {
+        label_ids.push_back(row->id);
+      }
+      const auto dom_ids = query::EvaluateOnDocument(q, store->document());
+      ASSERT_EQ(label_ids, dom_ids)
+          << spec << " diverged on " << path << " at op " << op;
+    }
+    // Order preservation: live labels strictly increase in list order.
+    const auto labels = store->label_store().Labels();
+    for (size_t i = 1; i < labels.size(); ++i) {
+      ASSERT_LT(labels[i - 1], labels[i])
+          << spec << " labels out of order at op " << op;
+    }
+  };
+  verify(-1);
+
+  auto books_q = query::PathQuery::Parse("/site/books").ValueOrDie();
+  const xml::NodeId root_id = store->document().root()->id;
+  const xml::NodeId books_id =
+      query::EvaluateWithLabels(books_q, store->table())[0]->id;
+
+  Rng rng(std::hash<std::string>{}(spec) & 0xffffff);
+  auto random_element = [&]() -> xml::NodeId {
+    auto rows = store->table().AllElements();
+    const auto* row = rows[rng.Uniform(rows.size())];
+    return row->id;
+  };
+
+  for (int op = 0; op < 60; ++op) {
+    const uint64_t dice = rng.Uniform(10);
+    if (dice < 3) {
+      ASSERT_TRUE(store
+                      ->InsertFragment(
+                          books_id, 0,
+                          "<book><title>t</title><chapter><para>p</para>"
+                          "</chapter></book>")
+                      .ok())
+          << spec << " op " << op;
+    } else if (dice < 6) {
+      // New element under a random live element (possibly a nested edit).
+      auto fresh = store->InsertElement(random_element(), 0, "edit");
+      ASSERT_TRUE(fresh.ok()) << spec << " op " << op;
+    } else if (dice < 8) {
+      auto text = store->InsertText(random_element(), 0, "note");
+      ASSERT_TRUE(text.ok()) << spec << " op " << op;
+    } else {
+      // Delete a random subtree, but keep the skeleton alive.
+      const xml::NodeId victim = random_element();
+      if (victim != root_id && victim != books_id) {
+        ASSERT_TRUE(store->DeleteSubtree(victim).ok())
+            << spec << " op " << op;
+      }
+    }
+    verify(op);
+    if (op % 15 == 14) {
+      ASSERT_TRUE(store->CheckConsistency().ok()) << spec << " op " << op;
+    }
+  }
+  ASSERT_TRUE(store->CheckConsistency().ok());
+}
+
+// The full parse -> edit -> query pipeline must run under (at least) these
+// five scheme families — the acceptance bar for the pluggable LabelStore.
+INSTANTIATE_TEST_SUITE_P(Schemes, SchemeEquivalenceTest,
+                         ::testing::Values("ltree:16:4", "ltree:4:2:purge",
+                                           "virtual:16:4", "virtual:4:2",
+                                           "sequential", "gap:64", "gap:16",
+                                           "bender", "bender:0.75"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == ':' || c == '.') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace docstore
+}  // namespace ltree

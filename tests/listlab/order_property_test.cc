@@ -1,4 +1,4 @@
-// Cross-scheme property tests: every OrderMaintainer must keep label order
+// Cross-scheme property tests: every LabelStore must keep label order
 // equal to list order under arbitrary op streams, and the relative cost
 // ordering the paper claims (L-Tree ~ polylog << sequential) must hold.
 
@@ -17,8 +17,8 @@ namespace {
 class OrderPropertyTest : public ::testing::TestWithParam<std::string> {};
 
 TEST_P(OrderPropertyTest, LabelsMatchListOrderUnderRandomOps) {
-  auto maintainer = MakeMaintainer(GetParam()).ValueOrDie();
-  std::vector<ItemId> order;  // reference list order
+  auto maintainer = MakeLabelStore(GetParam()).ValueOrDie();
+  std::vector<ItemHandle> order;  // reference list order
   ASSERT_TRUE(maintainer->BulkLoad(8, &order).ok());
 
   Rng rng(std::hash<std::string>{}(GetParam()) & 0xffff);
@@ -26,17 +26,18 @@ TEST_P(OrderPropertyTest, LabelsMatchListOrderUnderRandomOps) {
     const uint64_t action = rng.Uniform(10);
     if (action < 6 || order.size() < 4) {
       const size_t r = static_cast<size_t>(rng.Uniform(order.size()));
-      auto id = maintainer->InsertAfter(order[r]);
+      auto id = maintainer->InsertAfter(order[r], 1000 + static_cast<LeafCookie>(op));
       ASSERT_TRUE(id.ok()) << "op " << op;
       order.insert(order.begin() + static_cast<long>(r) + 1, *id);
     } else if (action < 7) {
       const size_t r = static_cast<size_t>(rng.Uniform(order.size()));
-      auto id = maintainer->InsertBefore(order[r]);
+      auto id = maintainer->InsertBefore(order[r], 1000 + static_cast<LeafCookie>(op));
       ASSERT_TRUE(id.ok()) << "op " << op;
       order.insert(order.begin() + static_cast<long>(r), *id);
     } else if (action < 8) {
-      auto id = rng.Bernoulli(0.5) ? maintainer->PushBack()
-                                   : maintainer->PushFront();
+      auto id = rng.Bernoulli(0.5)
+                    ? maintainer->PushBack(1000 + static_cast<LeafCookie>(op))
+                    : maintainer->PushFront(1000 + static_cast<LeafCookie>(op));
       ASSERT_TRUE(id.ok()) << "op " << op;
       if (rng.Bernoulli(0.5)) {
         // We can't know which end without querying; re-derive below.
@@ -77,7 +78,7 @@ TEST_P(OrderPropertyTest, LabelsMatchListOrderUnderRandomOps) {
   ASSERT_EQ(maintainer->size(), order.size());
   Label prev = 0;
   bool first = true;
-  for (ItemId id : order) {
+  for (ItemHandle id : order) {
     auto l = maintainer->GetLabel(id);
     ASSERT_TRUE(l.ok());
     if (!first) {
@@ -111,17 +112,17 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(SchemeComparisonTest, LTreeBeatsSequentialOnRandomInserts) {
   // The paper's core positioning (Section 1): sequential labels cost ~n/2
   // relabels per insert, the L-Tree O(log n).
-  auto seq = MakeMaintainer("sequential").ValueOrDie();
-  auto lt = MakeMaintainer("ltree:16:4").ValueOrDie();
-  std::vector<ItemId> seq_order;
-  std::vector<ItemId> lt_order;
+  auto seq = MakeLabelStore("sequential").ValueOrDie();
+  auto lt = MakeLabelStore("ltree:16:4").ValueOrDie();
+  std::vector<ItemHandle> seq_order;
+  std::vector<ItemHandle> lt_order;
   ASSERT_TRUE(seq->BulkLoad(512, &seq_order).ok());
   ASSERT_TRUE(lt->BulkLoad(512, &lt_order).ok());
   Rng rng(42);
   for (int i = 0; i < 2000; ++i) {
     const size_t r = static_cast<size_t>(rng.Uniform(seq_order.size()));
-    auto sid = seq->InsertAfter(seq_order[r]);
-    auto lid = lt->InsertAfter(lt_order[r]);
+    auto sid = seq->InsertAfter(seq_order[r], i);
+    auto lid = lt->InsertAfter(lt_order[r], i);
     ASSERT_TRUE(sid.ok());
     ASSERT_TRUE(lid.ok());
     seq_order.insert(seq_order.begin() + static_cast<long>(r) + 1, *sid);

@@ -1,11 +1,12 @@
-// Behavioural tests for the individual labeling schemes.
+// Behavioural tests for the individual labeling schemes behind the
+// LabelStore interface.
 
 #include <gtest/gtest.h>
 
 #include "listlab/bender_list.h"
 #include "listlab/factory.h"
 #include "listlab/gap_list.h"
-#include "listlab/ltree_adapters.h"
+#include "listlab/ltree_store.h"
 #include "listlab/sequential_list.h"
 
 namespace ltree {
@@ -14,21 +15,23 @@ namespace {
 
 TEST(SequentialListTest, BulkLoadIsConsecutive) {
   SequentialList list;
-  std::vector<ItemId> ids;
+  std::vector<ItemHandle> ids;
   ASSERT_TRUE(list.BulkLoad(5, &ids).ok());
   EXPECT_EQ(list.Labels(), (std::vector<Label>{0, 1, 2, 3, 4}));
   EXPECT_EQ(list.size(), 5u);
+  EXPECT_EQ(list.erase_semantics(), EraseSemantics::kPhysical);
   EXPECT_TRUE(list.CheckInvariants().ok());
 }
 
 TEST(SequentialListTest, MidInsertShiftsSuffix) {
   SequentialList list;
-  std::vector<ItemId> ids;
+  std::vector<ItemHandle> ids;
   ASSERT_TRUE(list.BulkLoad(10, &ids).ok());
   // Insert after position 3: labels 4..9 shift.
-  auto id = list.InsertAfter(ids[3]);
+  auto id = list.InsertAfter(ids[3], 77);
   ASSERT_TRUE(id.ok());
   EXPECT_EQ(*list.GetLabel(*id), 4u);
+  EXPECT_EQ(*list.GetCookie(*id), 77u);
   EXPECT_EQ(list.stats().items_relabeled, 6u);
   EXPECT_EQ(list.Labels(),
             (std::vector<Label>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}));
@@ -37,54 +40,57 @@ TEST(SequentialListTest, MidInsertShiftsSuffix) {
 
 TEST(SequentialListTest, AppendIsFree) {
   SequentialList list;
-  std::vector<ItemId> ids;
+  std::vector<ItemHandle> ids;
   ASSERT_TRUE(list.BulkLoad(10, &ids).ok());
-  ASSERT_TRUE(list.PushBack().ok());
+  ASSERT_TRUE(list.PushBack(0).ok());
   EXPECT_EQ(list.stats().items_relabeled, 0u);
 }
 
 TEST(SequentialListTest, PushFrontShiftsEverything) {
   SequentialList list;
-  std::vector<ItemId> ids;
+  std::vector<ItemHandle> ids;
   ASSERT_TRUE(list.BulkLoad(10, &ids).ok());
-  ASSERT_TRUE(list.PushFront().ok());
+  ASSERT_TRUE(list.PushFront(0).ok());
   EXPECT_EQ(list.stats().items_relabeled, 10u);
 }
 
 TEST(SequentialListTest, EraseLeavesGapThatAbsorbsShift) {
   SequentialList list;
-  std::vector<ItemId> ids;
+  std::vector<ItemHandle> ids;
   ASSERT_TRUE(list.BulkLoad(10, &ids).ok());
   ASSERT_TRUE(list.Erase(ids[5]).ok());  // label 5 vacated
-  ASSERT_TRUE(list.InsertAfter(ids[2]).ok());
+  ASSERT_TRUE(list.InsertAfter(ids[2], 0).ok());
   // Shift stops at the vacated slot: labels 3,4 move to 4,5.
   EXPECT_EQ(list.stats().items_relabeled, 2u);
   EXPECT_TRUE(list.CheckInvariants().ok());
 }
 
-TEST(SequentialListTest, ErasedIdRejected) {
+TEST(SequentialListTest, ErasedHandleRejected) {
   SequentialList list;
-  std::vector<ItemId> ids;
+  std::vector<ItemHandle> ids;
   ASSERT_TRUE(list.BulkLoad(3, &ids).ok());
   ASSERT_TRUE(list.Erase(ids[1]).ok());
-  EXPECT_TRUE(list.Erase(ids[1]).IsNotFound());
+  EXPECT_TRUE(list.Erase(ids[1]).IsFailedPrecondition())
+      << "double erase is FailedPrecondition in every scheme";
   EXPECT_TRUE(list.GetLabel(ids[1]).status().IsNotFound());
-  EXPECT_TRUE(list.InsertAfter(ids[1]).status().IsNotFound());
+  EXPECT_TRUE(list.GetCookie(ids[1]).status().IsNotFound());
+  EXPECT_TRUE(list.InsertAfter(ids[1], 0).status().IsNotFound());
   EXPECT_TRUE(list.GetLabel(999).status().IsNotFound());
+  EXPECT_TRUE(list.Erase(999).IsNotFound());
 }
 
 TEST(GapListTest, BulkLoadLeavesGaps) {
   GapList list(10);
-  std::vector<ItemId> ids;
+  std::vector<ItemHandle> ids;
   ASSERT_TRUE(list.BulkLoad(4, &ids).ok());
   EXPECT_EQ(list.Labels(), (std::vector<Label>{0, 10, 20, 30}));
 }
 
 TEST(GapListTest, MidpointInsertNoRelabel) {
   GapList list(10);
-  std::vector<ItemId> ids;
+  std::vector<ItemHandle> ids;
   ASSERT_TRUE(list.BulkLoad(4, &ids).ok());
-  auto id = list.InsertAfter(ids[1]);
+  auto id = list.InsertAfter(ids[1], 0);
   ASSERT_TRUE(id.ok());
   EXPECT_EQ(*list.GetLabel(*id), 15u);
   EXPECT_EQ(list.stats().items_relabeled, 0u);
@@ -92,14 +98,14 @@ TEST(GapListTest, MidpointInsertNoRelabel) {
 
 TEST(GapListTest, ExhaustedGapRenumbersAll) {
   GapList list(4);
-  std::vector<ItemId> ids;
+  std::vector<ItemHandle> ids;
   ASSERT_TRUE(list.BulkLoad(8, &ids).ok());
   // Hammer one gap until it renumbers: gap 4 fits 2 midpoint inserts.
-  ItemId pos = ids[0];
+  ItemHandle pos = ids[0];
   uint64_t relabels_before = list.stats().items_relabeled;
   int renumbers = 0;
   for (int i = 0; i < 10; ++i) {
-    auto id = list.InsertAfter(pos);
+    auto id = list.InsertAfter(pos, 0);
     ASSERT_TRUE(id.ok());
     if (list.stats().rebalances > static_cast<uint64_t>(renumbers)) {
       ++renumbers;
@@ -112,26 +118,42 @@ TEST(GapListTest, ExhaustedGapRenumbersAll) {
 
 TEST(GapListTest, AppendExtends) {
   GapList list(16);
-  std::vector<ItemId> ids;
+  std::vector<ItemHandle> ids;
   ASSERT_TRUE(list.BulkLoad(2, &ids).ok());
-  auto id = list.PushBack();
+  auto id = list.PushBack(0);
   ASSERT_TRUE(id.ok());
   EXPECT_EQ(*list.GetLabel(*id), 32u);
   EXPECT_EQ(list.stats().items_relabeled, 0u);
 }
 
+TEST(GapListTest, FailedBatchRollsBack) {
+  // Fallback batches are all-or-nothing: the third append overflows the
+  // 64-bit label space, so the first two must be erased again.
+  GapList list(uint64_t{1} << 62);
+  std::vector<ItemHandle> ids;
+  ASSERT_TRUE(list.BulkLoad(2, &ids).ok());
+  const std::vector<LeafCookie> batch{9, 10, 11};
+  std::vector<ItemHandle> fresh;
+  auto st = list.PushBackBatch(batch, &fresh);
+  EXPECT_TRUE(st.IsCapacityExceeded());
+  EXPECT_TRUE(fresh.empty());
+  EXPECT_EQ(list.size(), 2u);
+  EXPECT_EQ(list.Labels().size(), 2u);
+  EXPECT_TRUE(list.CheckInvariants().ok());
+}
+
 TEST(GapListTest, PushFrontUsesHalfGap) {
   GapList list(16);
-  std::vector<ItemId> ids;
+  std::vector<ItemHandle> ids;
   ASSERT_TRUE(list.BulkLoad(2, &ids).ok());
-  ASSERT_TRUE(list.PushFront().ok());
+  ASSERT_TRUE(list.PushFront(0).ok());
   EXPECT_EQ(list.Labels().front(), 0u);
   EXPECT_TRUE(list.CheckInvariants().ok());
 }
 
 TEST(BenderListTest, BulkLoadEvenSpread) {
   BenderList list;
-  std::vector<ItemId> ids;
+  std::vector<ItemHandle> ids;
   ASSERT_TRUE(list.BulkLoad(16, &ids).ok());
   auto labels = list.Labels();
   ASSERT_EQ(labels.size(), 16u);
@@ -141,11 +163,11 @@ TEST(BenderListTest, BulkLoadEvenSpread) {
 
 TEST(BenderListTest, HotspotInsertsStayCheap) {
   BenderList list;
-  std::vector<ItemId> ids;
+  std::vector<ItemHandle> ids;
   ASSERT_TRUE(list.BulkLoad(64, &ids).ok());
-  ItemId pos = ids[32];
+  ItemHandle pos = ids[32];
   for (int i = 0; i < 2000; ++i) {
-    auto id = list.InsertAfter(pos);
+    auto id = list.InsertAfter(pos, 0);
     ASSERT_TRUE(id.ok());
     if (i % 200 == 0) {
       ASSERT_TRUE(list.CheckInvariants().ok());
@@ -161,7 +183,7 @@ TEST(BenderListTest, UniverseGrowsWhenDense) {
   ASSERT_TRUE(list.BulkLoad(8, nullptr).ok());
   const uint32_t bits_before = list.universe_bits();
   for (int i = 0; i < 200; ++i) {
-    ASSERT_TRUE(list.PushBack().ok());
+    ASSERT_TRUE(list.PushBack(0).ok());
   }
   EXPECT_GT(list.universe_bits(), bits_before);
   EXPECT_TRUE(list.CheckInvariants().ok());
@@ -169,51 +191,122 @@ TEST(BenderListTest, UniverseGrowsWhenDense) {
 
 TEST(BenderListTest, EmptyListPushBack) {
   BenderList list;
-  auto id = list.PushBack();
+  auto id = list.PushBack(0);
   ASSERT_TRUE(id.ok());
   EXPECT_EQ(list.size(), 1u);
-  auto id2 = list.PushFront();
+  auto id2 = list.PushFront(0);
   ASSERT_TRUE(id2.ok());
   auto labels = list.Labels();
   EXPECT_LT(labels[0], labels[1]);
 }
 
-TEST(LTreeMaintainerTest, WrapsTree) {
-  auto m = LTreeMaintainer::Make(Params{.f = 8, .s = 2}).ValueOrDie();
-  std::vector<ItemId> ids;
+TEST(LTreeStoreTest, WrapsTree) {
+  auto m = LTreeStore::Make(Params{.f = 8, .s = 2}).ValueOrDie();
+  std::vector<ItemHandle> ids;
   ASSERT_TRUE(m->BulkLoad(16, &ids).ok());
   EXPECT_EQ(m->size(), 16u);
-  auto id = m->InsertAfter(ids[4]);
+  EXPECT_EQ(m->erase_semantics(), EraseSemantics::kTombstone);
+  auto id = m->InsertAfter(ids[4], 1234);
   ASSERT_TRUE(id.ok());
   EXPECT_GT(*m->GetLabel(*id), *m->GetLabel(ids[4]));
   EXPECT_LT(*m->GetLabel(*id), *m->GetLabel(ids[5]));
+  EXPECT_EQ(*m->GetCookie(*id), 1234u);
+  EXPECT_EQ(*m->GetCookie(ids[3]), 3u);
   ASSERT_TRUE(m->Erase(ids[0]).ok());
   EXPECT_EQ(m->size(), 16u);
   EXPECT_TRUE(m->GetLabel(ids[0]).status().IsNotFound());
+  EXPECT_TRUE(m->Erase(ids[0]).IsFailedPrecondition());
   EXPECT_EQ(m->stats().inserts, 1u);
   EXPECT_TRUE(m->CheckInvariants().ok());
 }
 
-TEST(VirtualLTreeMaintainerTest, TracksLabelsAcrossRelabeling) {
-  auto m = VirtualLTreeMaintainer::Make(Params{.f = 4, .s = 2}).ValueOrDie();
-  std::vector<ItemId> ids;
+TEST(LTreeStoreTest, PurgeSpecKeepsHandlesSafe) {
+  auto m = MakeLabelStore("ltree:4:2:purge").ValueOrDie();
+  EXPECT_EQ(m->erase_semantics(), EraseSemantics::kTombstonePurge);
+  std::vector<ItemHandle> ids;
   ASSERT_TRUE(m->BulkLoad(8, &ids).ok());
-  // Force splits; the id -> label map must stay consistent.
+  ASSERT_TRUE(m->Erase(ids[2]).ok());
+  ASSERT_TRUE(m->Erase(ids[3]).ok());
+  // Force splits around the tombstones so they get purged.
+  ItemHandle pos = ids[1];
+  for (int i = 0; i < 64; ++i) {
+    auto fresh = m->InsertAfter(pos, 100 + i);
+    ASSERT_TRUE(fresh.ok());
+  }
+  // The erased handles answer consistently even though their leaves are
+  // gone.
+  EXPECT_TRUE(m->GetLabel(ids[2]).status().IsNotFound());
+  EXPECT_TRUE(m->Erase(ids[3]).IsFailedPrecondition());
+  EXPECT_TRUE(m->CheckInvariants().ok());
+}
+
+TEST(LTreeStoreTest, BatchInsertIsOneRebalance) {
+  auto m = LTreeStore::Make(Params{.f = 8, .s = 2}).ValueOrDie();
+  std::vector<ItemHandle> ids;
+  ASSERT_TRUE(m->BulkLoad(8, &ids).ok());
+  const std::vector<LeafCookie> cookies{50, 51, 52, 53, 54};
+  std::vector<ItemHandle> fresh;
+  ASSERT_TRUE(m->InsertBatchAfter(ids[3], cookies, &fresh).ok());
+  ASSERT_EQ(fresh.size(), 5u);
+  EXPECT_EQ(m->stats().batch_inserts, 1u);
+  // Batch items sit between ids[3] and ids[4], in batch order.
+  Label prev = *m->GetLabel(ids[3]);
+  for (size_t i = 0; i < fresh.size(); ++i) {
+    const Label l = *m->GetLabel(fresh[i]);
+    EXPECT_GT(l, prev);
+    EXPECT_EQ(*m->GetCookie(fresh[i]), cookies[i]);
+    prev = l;
+  }
+  EXPECT_LT(prev, *m->GetLabel(ids[4]));
+  EXPECT_TRUE(m->CheckInvariants().ok());
+}
+
+TEST(VirtualLTreeStoreTest, TracksLabelsAcrossRelabeling) {
+  auto m = VirtualLTreeStore::Make(Params{.f = 4, .s = 2}).ValueOrDie();
+  std::vector<ItemHandle> ids;
+  ASSERT_TRUE(m->BulkLoad(8, &ids).ok());
+  // Force splits; the handle -> label map must stay consistent.
   for (int i = 0; i < 50; ++i) {
-    ASSERT_TRUE(m->InsertAfter(ids[3]).ok());
+    ASSERT_TRUE(m->InsertAfter(ids[3], 1000 + i).ok());
   }
   auto labels = m->Labels();
   EXPECT_TRUE(std::is_sorted(labels.begin(), labels.end()));
-  // ids[3] and ids[4] must still be in relative order.
+  // ids[3] and ids[4] must still be in relative order, with their cookies.
   EXPECT_LT(*m->GetLabel(ids[3]), *m->GetLabel(ids[4]));
+  EXPECT_EQ(*m->GetCookie(ids[3]), 3u);
   EXPECT_TRUE(m->CheckInvariants().ok());
+}
+
+TEST(VirtualLTreeStoreTest, BatchMatchesMaterialized) {
+  // The Section 4.1 batch path must produce identical labels on both
+  // L-Tree variants.
+  auto mat = MakeLabelStore("ltree:4:2").ValueOrDie();
+  auto virt = MakeLabelStore("virtual:4:2").ValueOrDie();
+  for (LabelStore* m : {mat.get(), virt.get()}) {
+    std::vector<ItemHandle> ids;
+    ASSERT_TRUE(m->BulkLoad(6, &ids).ok());
+    const std::vector<LeafCookie> batch{20, 21, 22, 23};
+    ASSERT_TRUE(m->InsertBatchAfter(ids[2], batch, nullptr).ok());
+    EXPECT_EQ(m->stats().batch_inserts, 1u) << m->name();
+  }
+  EXPECT_EQ(mat->Labels(), virt->Labels());
+}
+
+TEST(VirtualLTreeStoreTest, DoubleEraseFailedPrecondition) {
+  auto m = VirtualLTreeStore::Make(Params{.f = 4, .s = 2}).ValueOrDie();
+  std::vector<ItemHandle> ids;
+  ASSERT_TRUE(m->BulkLoad(4, &ids).ok());
+  ASSERT_TRUE(m->Erase(ids[1]).ok());
+  EXPECT_TRUE(m->Erase(ids[1]).IsFailedPrecondition());
+  EXPECT_TRUE(m->GetLabel(ids[1]).status().IsNotFound());
+  EXPECT_TRUE(m->Erase(12345).IsNotFound());
 }
 
 TEST(FactoryTest, BuildsEverySpec) {
   for (const char* spec :
        {"sequential", "gap:64", "bender", "bender:0.75", "ltree:16:4",
-        "virtual:8:2"}) {
-    auto m = MakeMaintainer(spec);
+        "ltree:16:4:purge", "virtual:8:2", "virtual:8:2:purge"}) {
+    auto m = MakeLabelStore(spec);
     ASSERT_TRUE(m.ok()) << spec;
     ASSERT_TRUE((*m)->BulkLoad(4, nullptr).ok()) << spec;
     EXPECT_EQ((*m)->size(), 4u) << spec;
@@ -221,14 +314,55 @@ TEST(FactoryTest, BuildsEverySpec) {
 }
 
 TEST(FactoryTest, RejectsBadSpecs) {
-  EXPECT_FALSE(MakeMaintainer("nope").ok());
-  EXPECT_FALSE(MakeMaintainer("gap").ok());
-  EXPECT_FALSE(MakeMaintainer("gap:1").ok());
-  EXPECT_FALSE(MakeMaintainer("bender:0").ok());
-  EXPECT_FALSE(MakeMaintainer("bender:1.5").ok());
-  EXPECT_FALSE(MakeMaintainer("ltree:16").ok());
-  EXPECT_FALSE(MakeMaintainer("ltree:5:2").ok());
+  EXPECT_FALSE(MakeLabelStore("nope").ok());
+  EXPECT_FALSE(MakeLabelStore("gap").ok());
+  EXPECT_FALSE(MakeLabelStore("gap:1").ok());
+  EXPECT_FALSE(MakeLabelStore("bender:0").ok());
+  EXPECT_FALSE(MakeLabelStore("bender:1.5").ok());
+  EXPECT_FALSE(MakeLabelStore("ltree:16").ok());
+  EXPECT_FALSE(MakeLabelStore("ltree:5:2").ok());
+  EXPECT_FALSE(MakeLabelStore("ltree:16:4:oops").ok());
+  EXPECT_FALSE(MakeLabelStore("sequential:1").ok());
 }
+
+// The RelabelListener must fire for exactly the items whose labels change,
+// on every scheme.
+class CountingListener : public RelabelListener {
+ public:
+  void OnRelabel(LeafCookie cookie, Label old_label,
+                 Label new_label) override {
+    (void)cookie;
+    EXPECT_NE(old_label, new_label);
+    ++events;
+  }
+  uint64_t events = 0;
+};
+
+class ListenerTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ListenerTest, RelabelEventsMatchStats) {
+  auto m = MakeLabelStore(GetParam()).ValueOrDie();
+  CountingListener listener;
+  m->set_listener(&listener);
+  std::vector<ItemHandle> ids;
+  ASSERT_TRUE(m->BulkLoad(16, &ids).ok());
+  EXPECT_EQ(listener.events, 0u) << "bulk load must not fire the listener";
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(m->InsertAfter(ids[7], 100 + i).ok());
+  }
+  EXPECT_EQ(listener.events, m->stats().items_relabeled) << m->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, ListenerTest,
+                         ::testing::Values("sequential", "gap:16", "bender",
+                                           "ltree:4:2", "virtual:4:2"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == ':' || c == '.') c = '_';
+                           }
+                           return name;
+                         });
 
 }  // namespace
 }  // namespace listlab

@@ -56,8 +56,7 @@ TEST(PathParseTest, Errors) {
 class EvaluatorFixture : public ::testing::Test {
  protected:
   void Load(const std::string& xml_text) {
-    store_ = docstore::LabeledDocument::FromXml(xml_text,
-                                                Params{.f = 8, .s = 2})
+    store_ = docstore::LabeledDocument::FromXml(xml_text, "ltree:8:2")
                  .MoveValueUnsafe();
   }
 
@@ -155,9 +154,9 @@ TEST_P(RandomDocAgreementTest, ThreeEvaluatorsAgree) {
   opts.tag_vocabulary = 6;
   opts.seed = GetParam();
   xml::Document doc = workload::GenerateRandomDocument(opts);
-  auto store = docstore::LabeledDocument::FromDocument(std::move(doc),
-                                                       Params{.f = 16, .s = 4})
-                   .MoveValueUnsafe();
+  auto store =
+      docstore::LabeledDocument::FromDocument(std::move(doc), "ltree:16:4")
+          .MoveValueUnsafe();
   const char* paths[] = {"//tag0",         "//tag1//tag2", "/root//tag3",
                          "/root/*",        "//tag4/tag5",  "//*//tag0",
                          "root/tag1/tag1", "//tag2//*"};
