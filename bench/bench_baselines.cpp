@@ -72,29 +72,19 @@ Row RunScheme(const std::string& spec, workload::StreamKind kind,
 
 void WriteJson(const std::string& path, uint64_t initial, uint64_t inserts,
                const std::vector<Row>& rows) {
-  FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", path.c_str());
-    return;
+  bench::JsonWriter json("baselines");
+  json.Field("initial", initial).Field("inserts", inserts);
+  for (const Row& r : rows) {
+    json.BeginRecord()
+        .Field("stream", r.stream)
+        .Field("spec", r.spec)
+        .Field("scheme", r.scheme)
+        .Field("relabels_per_insert", r.relabels_per_insert)
+        .Field("rebalances", r.rebalances)
+        .Field("label_bits", uint64_t{r.bits})
+        .Field("wall_ms", r.millis);
   }
-  std::fprintf(f,
-               "{\n  \"bench\": \"baselines\",\n  \"initial\": %llu,\n"
-               "  \"inserts\": %llu,\n  \"results\": [\n",
-               (unsigned long long)initial, (unsigned long long)inserts);
-  for (size_t i = 0; i < rows.size(); ++i) {
-    const Row& r = rows[i];
-    std::fprintf(
-        f,
-        "    {\"stream\": \"%s\", \"spec\": \"%s\", \"scheme\": \"%s\", "
-        "\"relabels_per_insert\": %.4f, \"rebalances\": %llu, "
-        "\"label_bits\": %u, \"wall_ms\": %.3f}%s\n",
-        r.stream.c_str(), r.spec.c_str(), r.scheme.c_str(),
-        r.relabels_per_insert, (unsigned long long)r.rebalances, r.bits,
-        r.millis, i + 1 < rows.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-  std::printf("wrote %zu records to %s\n", rows.size(), path.c_str());
+  json.WriteFile(path);
 }
 
 }  // namespace

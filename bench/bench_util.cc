@@ -1,7 +1,10 @@
 #include "bench/bench_util.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <utility>
 
+#include "common/string_util.h"
 #include "common/timer.h"
 
 namespace ltree {
@@ -90,6 +93,108 @@ InsertRunResult RunInsertWorkload(
   out.max_label = tree->max_label();
   LTREE_CHECK_OK(tree->CheckInvariants());
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// JsonWriter
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string QuoteJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void PrintFields(FILE* f, const std::vector<std::pair<std::string, std::string>>&
+                              fields,
+                 const char* separator) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    std::fprintf(f, "%s%s: %s", i == 0 ? "" : separator,
+                 QuoteJson(fields[i].first).c_str(), fields[i].second.c_str());
+  }
+}
+
+}  // namespace
+
+JsonWriter::JsonWriter(std::string bench_name)
+    : bench_name_(std::move(bench_name)) {}
+
+void JsonWriter::Add(const std::string& key, std::string encoded) {
+  Fields& target = records_.empty() ? top_ : records_.back();
+  target.emplace_back(key, std::move(encoded));
+}
+
+JsonWriter& JsonWriter::Field(const std::string& key, uint64_t value) {
+  Add(key, StrFormat("%llu", static_cast<unsigned long long>(value)));
+  return *this;
+}
+
+JsonWriter& JsonWriter::Field(const std::string& key, double value) {
+  Add(key, StrFormat("%.4f", value));
+  return *this;
+}
+
+JsonWriter& JsonWriter::Field(const std::string& key,
+                              const std::string& value) {
+  Add(key, QuoteJson(value));
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginRecord() {
+  records_.emplace_back();
+  return *this;
+}
+
+bool JsonWriter::WriteFile(const std::string& path) const {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"bench\": %s", QuoteJson(bench_name_).c_str());
+  if (!top_.empty()) {
+    std::fprintf(f, ",\n  ");
+    PrintFields(f, top_, ",\n  ");
+  }
+  std::fprintf(f, ",\n  \"results\": [\n");
+  for (size_t i = 0; i < records_.size(); ++i) {
+    std::fprintf(f, "    {");
+    PrintFields(f, records_[i], ", ");
+    std::fprintf(f, "}%s\n", i + 1 < records_.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %zu records to %s\n", records_.size(), path.c_str());
+  return true;
 }
 
 }  // namespace bench

@@ -43,6 +43,46 @@ InsertRunResult RunInsertWorkload(const Params& params, uint64_t initial,
                                   uint64_t inserts,
                                   const workload::StreamOptions& stream_options);
 
+/// Machine-readable dump for the perf trajectory: every bench that wants CI
+/// to track its numbers emits a BENCH_<name>.json through this writer, so
+/// the files share one shape —
+///
+///   {
+///     "bench": "<name>",
+///     <top-level fields>,
+///     "results": [ {<record fields>}, ... ]
+///   }
+///
+/// Usage: construct, add top-level Field()s, then for each row call
+/// BeginRecord() followed by that row's Field()s. Fields added after the
+/// first BeginRecord() belong to the current record. Values keep insertion
+/// order.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::string bench_name);
+
+  JsonWriter& Field(const std::string& key, uint64_t value);
+  JsonWriter& Field(const std::string& key, double value);
+  JsonWriter& Field(const std::string& key, const std::string& value);
+
+  /// Starts the next record in "results".
+  JsonWriter& BeginRecord();
+
+  size_t num_records() const { return records_.size(); }
+
+  /// Writes the document to `path` (and logs a one-line confirmation).
+  /// Returns false (with a stderr message) if the file cannot be written.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  using Fields = std::vector<std::pair<std::string, std::string>>;
+  void Add(const std::string& key, std::string encoded);
+
+  std::string bench_name_;
+  Fields top_;
+  std::vector<Fields> records_;
+};
+
 }  // namespace bench
 }  // namespace ltree
 

@@ -11,13 +11,27 @@ namespace ltree {
 
 LTree::LTree(const Params& params, PowerTable powers)
     : params_(params), powers_(std::move(powers)) {
-  root_ = new Node;
+  root_ = arena_.Allocate();
   root_->height = 1;
   root_->leaf_count = 0;
   root_->num = 0;
 }
 
-LTree::~LTree() { DestroySubtree(root_); }
+// Every node lives in arena_ chunks, which free wholesale — no tree walk.
+LTree::~LTree() = default;
+
+const LTreeStats& LTree::stats() const {
+  const NodeArenaStats& a = arena_.stats();
+  stats_.nodes_allocated = a.fresh_allocs - arena_base_.fresh_allocs;
+  stats_.nodes_reused = a.reused_allocs - arena_base_.reused_allocs;
+  stats_.nodes_released = a.releases - arena_base_.releases;
+  return stats_;
+}
+
+void LTree::ResetStats() {
+  stats_ = LTreeStats();
+  arena_base_ = arena_.stats();
+}
 
 Result<std::unique_ptr<LTree>> LTree::Create(const Params& params) {
   LTREE_ASSIGN_OR_RETURN(PowerTable powers, PowerTable::Make(params));
@@ -45,18 +59,19 @@ Status LTree::BulkLoad(std::span<const LeafCookie> cookies,
   std::vector<Node*> leaves;
   leaves.reserve(n);
   for (LeafCookie c : cookies) {
-    Node* leaf = new Node;
+    Node* leaf = arena_.Allocate();
     leaf->cookie = c;
     leaf->num = kInvalidLabel;
     leaves.push_back(leaf);
   }
-  DestroySubtree(root_);
+  arena_.Release(root_);  // the empty placeholder root
   root_ = BuildOverLeaves(std::span<Node*>(leaves), h0);
   live_leaves_ = n;
   // Initial label assignment is part of loading, not incremental maintenance.
   Relabel(root_, 0, 0, /*count_stats=*/false);
   ++stats_.bulk_loads;
   if (handles != nullptr) {
+    handles->reserve(handles->size() + leaves.size());
     handles->insert(handles->end(), leaves.begin(), leaves.end());
   }
   return Status::OK();
@@ -75,7 +90,7 @@ Node* LTree::BuildOverLeaves(std::span<Node*> leaves, uint32_t height) {
     return leaf;
   }
   LTREE_CHECK(leaves.size() <= powers_.PowD(height));
-  Node* node = new Node;
+  Node* node = arena_.Allocate();
   node->height = height;
   node->leaf_count = leaves.size();
   const uint64_t seg_cap = powers_.PowD(height - 1);
@@ -95,27 +110,26 @@ Node* LTree::BuildOverLeaves(std::span<Node*> leaves, uint32_t height) {
   return node;
 }
 
-std::vector<Node*> LTree::BuildPieces(std::span<Node*> leaves, uint64_t pieces,
-                                      uint32_t piece_height) {
+void LTree::BuildPieces(std::span<Node*> leaves, uint64_t pieces,
+                        uint32_t piece_height, std::vector<Node*>* out) {
   LTREE_CHECK(pieces >= 1);
   LTREE_CHECK(leaves.size() >= pieces);
-  std::vector<Node*> out;
-  out.reserve(pieces);
+  out->clear();
+  out->reserve(pieces);
   const uint64_t base = leaves.size() / pieces;
   const uint64_t rem = leaves.size() % pieces;
   size_t offset = 0;
   for (uint64_t i = 0; i < pieces; ++i) {
     const size_t len = static_cast<size_t>(base + (i < rem ? 1 : 0));
-    out.push_back(BuildOverLeaves(leaves.subspan(offset, len), piece_height));
+    out->push_back(BuildOverLeaves(leaves.subspan(offset, len), piece_height));
     offset += len;
   }
-  return out;
 }
 
-void LTree::DestroyInternalNodes(Node* n) {
+void LTree::ReleaseInternalNodes(Node* n) {
   if (n == nullptr || n->IsLeaf()) return;
-  for (Node* child : n->children) DestroyInternalNodes(child);
-  delete n;
+  for (Node* child : n->children) ReleaseInternalNodes(child);
+  arena_.Release(n);
 }
 
 void LTree::FixIndicesFrom(Node* parent, uint32_t from) {
@@ -157,14 +171,24 @@ Status LTree::InsertAt(Node* parent, uint32_t idx,
   LTREE_CHECK(idx <= parent->children.size());
   LTREE_RETURN_IF_ERROR(EnsureCapacityFor(k));
 
-  std::vector<Node*> fresh;
+  std::vector<Node*>& fresh = fresh_scratch_;
+  fresh.clear();
   fresh.reserve(k);
   for (LeafCookie c : cookies) {
-    Node* leaf = new Node;
+    Node* leaf = arena_.Allocate();
     leaf->cookie = c;
     leaf->num = kInvalidLabel;
     leaf->parent = parent;
     fresh.push_back(leaf);
+  }
+  // Pre-size to the steady-state fanout so the range insert never
+  // reallocates mid-shift: the tail moves exactly once, and repeated
+  // single-leaf inserts at the same parent stop paying the geometric
+  // growth ladder (a height-1 node tops out at f+1 children, batches
+  // excepted).
+  if (parent->children.size() + k > parent->children.capacity()) {
+    parent->children.reserve(
+        std::max<size_t>(parent->children.size() + k, params_.f + 1));
   }
   parent->children.insert(parent->children.begin() + idx, fresh.begin(),
                           fresh.end());
@@ -195,6 +219,12 @@ Status LTree::InsertAt(Node* parent, uint32_t idx,
     ++stats_.inserts;
   }
   if (handles != nullptr) {
+    // Pre-size for the whole batch; the max() keeps growth geometric so
+    // single-leaf insert streams stay amortized O(1) per append.
+    const size_t need = handles->size() + fresh.size();
+    if (need > handles->capacity()) {
+      handles->reserve(std::max(need, handles->capacity() * 2));
+    }
     handles->insert(handles->end(), fresh.begin(), fresh.end());
   }
   return Status::OK();
@@ -211,12 +241,15 @@ void LTree::RebuildAt(Node* v) {
     const uint32_t j = v->index_in_parent;
     const uint32_t h = v->height;
 
-    std::vector<Node*> leaves;
+    std::vector<Node*>& leaves = leaf_scratch_;
+    leaves.clear();
     CollectLeaves(v, &leaves);
-    // Destroy the internal skeleton before purging: MaybePurge frees
+    // Release the internal skeleton before purging: MaybePurge recycles
     // tombstoned leaves, and the internal nodes' children vectors would
-    // still point at them during the recursive walk.
-    DestroyInternalNodes(v);
+    // still point at them during the recursive walk. BuildPieces below
+    // re-allocates a same-shape skeleton, so it is served almost entirely
+    // from the free list these releases just filled.
+    ReleaseInternalNodes(v);
     const uint64_t purged = MaybePurge(&leaves);
 
     // Section 2.3: replace v with s complete (f/s)-ary subtrees over the
@@ -224,8 +257,8 @@ void LTree::RebuildAt(Node* v) {
     // l(v) = s*d^h this is precisely s pieces of d^h leaves each; batches
     // may need more pieces.)
     const uint64_t m = CeilDiv(leaves.size(), powers_.PowD(h));
-    std::vector<Node*> pieces =
-        BuildPieces(std::span<Node*>(leaves), m, h);
+    std::vector<Node*>& pieces = piece_scratch_;
+    BuildPieces(std::span<Node*>(leaves), m, h, &pieces);
 
     auto& siblings = p->children;
     siblings.erase(siblings.begin() + j);
@@ -254,12 +287,13 @@ void LTree::RebuildAt(Node* v) {
 }
 
 void LTree::RebuildRoot() {
-  std::vector<Node*> leaves;
+  std::vector<Node*>& leaves = leaf_scratch_;
+  leaves.clear();
   CollectLeaves(root_, &leaves);
   const uint32_t old_height = root_->height;
-  // As in RebuildAt: drop the internal skeleton before MaybePurge frees
-  // any tombstoned leaves it still points at.
-  DestroyInternalNodes(root_);
+  // As in RebuildAt: recycle the internal skeleton before MaybePurge
+  // recycles any tombstoned leaves it still points at.
+  ReleaseInternalNodes(root_);
   root_ = nullptr;
   const uint64_t purged = MaybePurge(&leaves);
   (void)purged;  // counts live in stats_.tombstones_purged
@@ -280,12 +314,13 @@ void LTree::RebuildRoot() {
   LTREE_CHECK(new_height >= 1);  // guaranteed by EnsureCapacityFor
 
   const uint64_t m = CeilDiv(l, powers_.PowD(new_height - 1));
-  Node* new_root = new Node;
+  Node* new_root = arena_.Allocate();
   new_root->height = new_height;
   new_root->leaf_count = l;
-  std::vector<Node*> pieces =
-      BuildPieces(std::span<Node*>(leaves), m, new_height - 1);
-  new_root->children = std::move(pieces);
+  std::vector<Node*>& pieces = piece_scratch_;
+  BuildPieces(std::span<Node*>(leaves), m, new_height - 1, &pieces);
+  // assign (not move): piece_scratch_ keeps its buffer for the next rebuild.
+  new_root->children.assign(pieces.begin(), pieces.end());
   for (uint32_t i = 0; i < new_root->children.size(); ++i) {
     new_root->children[i]->parent = new_root;
     new_root->children[i]->index_in_parent = i;
@@ -297,29 +332,30 @@ void LTree::RebuildRoot() {
 
 uint64_t LTree::MaybePurge(std::vector<Node*>* leaves) {
   if (!params_.purge_tombstones_on_split) return 0;
+  std::vector<Node*>& v = *leaves;
   uint64_t live = 0;
-  for (Node* leaf : *leaves) {
+  for (Node* leaf : v) {
     if (!leaf->deleted) ++live;
   }
-  if (live == leaves->size()) return 0;
-  std::vector<Node*> kept;
-  kept.reserve(std::max<uint64_t>(live, 1));
+  if (live == v.size()) return 0;
+  // Compact in place (no side buffer), recycling dropped tombstones.
+  size_t w = 0;
   if (live == 0) {
     // Never leave a subtree empty: keep one tombstone as a placeholder.
-    kept.push_back(leaves->front());
-    for (size_t i = 1; i < leaves->size(); ++i) delete (*leaves)[i];
+    for (size_t i = 1; i < v.size(); ++i) arena_.Release(v[i]);
+    w = 1;
   } else {
-    for (Node* leaf : *leaves) {
+    for (Node* leaf : v) {
       if (leaf->deleted) {
-        delete leaf;
+        arena_.Release(leaf);
       } else {
-        kept.push_back(leaf);
+        v[w++] = leaf;
       }
     }
   }
-  const uint64_t purged = leaves->size() - kept.size();
+  const uint64_t purged = v.size() - w;
   stats_.tombstones_purged += purged;
-  *leaves = std::move(kept);
+  v.resize(w);
   return purged;
 }
 

@@ -31,6 +31,7 @@
 #include "common/status.h"
 #include "core/ltree_stats.h"
 #include "core/node.h"
+#include "core/node_arena.h"
 #include "core/params.h"
 #include "core/relabel_listener.h"
 
@@ -128,8 +129,19 @@ class LTree {
 
   const Params& params() const { return params_; }
   const PowerTable& powers() const { return powers_; }
-  const LTreeStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = LTreeStats(); }
+
+  /// Operation counters since the last ResetStats(). The allocator-traffic
+  /// fields (nodes_allocated/reused/released) are refreshed from the arena
+  /// on every call, windowed the same way as the node-access counters.
+  const LTreeStats& stats() const;
+
+  /// Restarts the stats window (node accesses and allocator traffic).
+  void ResetStats();
+
+  /// Lifetime arena counters (monotonic; never reset). arena_stats().live()
+  /// equals the number of nodes currently reachable from the root, which
+  /// the conservation tests assert.
+  const NodeArenaStats& arena_stats() const { return arena_.stats(); }
 
   /// Receives label-change notifications; may be nullptr.
   void set_listener(RelabelListener* listener) { listener_ = listener; }
@@ -180,31 +192,41 @@ class LTree {
   Node* BuildOverLeaves(std::span<Node*> leaves, uint32_t height);
 
   /// Splits `leaves` into `pieces` even segments and builds one subtree of
-  /// height `piece_height` per segment.
-  std::vector<Node*> BuildPieces(std::span<Node*> leaves, uint64_t pieces,
-                                 uint32_t piece_height);
+  /// height `piece_height` per segment, written into `*out` (cleared
+  /// first; rebuilds pass the reusable piece_scratch_).
+  void BuildPieces(std::span<Node*> leaves, uint64_t pieces,
+                   uint32_t piece_height, std::vector<Node*>* out);
 
   /// Paper's Relabel(t, num, from): assigns num(t) and recursively relabels
   /// children starting at `from_child`.
   void Relabel(Node* t, Label num, uint32_t from_child, bool count_stats);
 
-  /// Removes tombstoned leaves from `leaves` (if purging is enabled),
-  /// deleting the nodes and reporting how many were dropped. Always keeps at
-  /// least one leaf so subtrees never become empty.
+  /// Compacts tombstoned leaves out of `leaves` in place (if purging is
+  /// enabled), releasing the nodes to the arena and reporting how many were
+  /// dropped. Always keeps at least one leaf so subtrees never become empty.
   uint64_t MaybePurge(std::vector<Node*>* leaves);
 
-  /// Deletes the internal nodes of the subtree rooted at `n`, leaving leaf
-  /// nodes alive (they are reused by rebuilds).
-  static void DestroyInternalNodes(Node* n);
+  /// Releases the internal nodes of the subtree rooted at `n` to the arena,
+  /// leaving leaf nodes alive (they are reused by rebuilds).
+  void ReleaseInternalNodes(Node* n);
 
   static void FixIndicesFrom(Node* parent, uint32_t from);
 
   Params params_;
   PowerTable powers_;
+  NodeArena arena_;  ///< owns every node; must outlive root_
   Node* root_ = nullptr;
   uint64_t live_leaves_ = 0;
-  LTreeStats stats_;
+  mutable LTreeStats stats_;      // mutable: stats() refreshes arena fields
+  NodeArenaStats arena_base_;     ///< arena snapshot at last ResetStats()
   RelabelListener* listener_ = nullptr;
+
+  // Scratch buffers reused across rebuilds so RebuildAt/RebuildRoot (and
+  // the escalation loop) stop re-allocating their leaf and piece vectors on
+  // every split. Only valid within one rebuild step at a time.
+  std::vector<Node*> leaf_scratch_;
+  std::vector<Node*> piece_scratch_;
+  std::vector<Node*> fresh_scratch_;  ///< InsertAt's new-leaf buffer
 };
 
 }  // namespace ltree

@@ -9,6 +9,7 @@ std::string LTreeStats::ToString() const {
       "LTreeStats{inserts=%llu batch_leaves=%llu deletes=%llu splits=%llu "
       "root_splits=%llu escalations=%llu ancestor_updates=%llu "
       "nodes_relabeled=%llu leaves_relabeled=%llu purged=%llu "
+      "nodes_allocated=%llu nodes_reused=%llu nodes_released=%llu "
       "amortized_cost=%.3f}",
       static_cast<unsigned long long>(inserts),
       static_cast<unsigned long long>(batch_leaves),
@@ -20,6 +21,9 @@ std::string LTreeStats::ToString() const {
       static_cast<unsigned long long>(nodes_relabeled),
       static_cast<unsigned long long>(leaves_relabeled),
       static_cast<unsigned long long>(tombstones_purged),
+      static_cast<unsigned long long>(nodes_allocated),
+      static_cast<unsigned long long>(nodes_reused),
+      static_cast<unsigned long long>(nodes_released),
       AmortizedCostPerInsert());
 }
 

@@ -24,6 +24,14 @@ struct LTreeStats {
   uint64_t escalations = 0;       ///< fanout-overflow escalations (batch only)
   uint64_t tombstones_purged = 0;
 
+  // ---- allocator traffic (NodeArena; not part of the paper's cost) ----
+  /// Fresh arena allocations (real heap growth) since the last reset.
+  uint64_t nodes_allocated = 0;
+  /// Allocations served by free-list recycling since the last reset.
+  uint64_t nodes_reused = 0;
+  /// Nodes returned to the arena (rebuild skeletons, purged tombstones).
+  uint64_t nodes_released = 0;
+
   // ---- the paper's cost metric ----
   /// Ancestor leaf_count updates (the `h` term of the cost formula).
   uint64_t ancestor_updates = 0;

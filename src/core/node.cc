@@ -2,11 +2,9 @@
 
 namespace ltree {
 
-void DestroySubtree(Node* node) {
-  if (node == nullptr) return;
-  for (Node* child : node->children) DestroySubtree(child);
-  delete node;
-}
+// Note: there is deliberately no free function that deletes core nodes —
+// every Node is owned by its tree's NodeArena (core/node_arena.h), which
+// recycles individual nodes and frees its chunks wholesale on destruction.
 
 Node* LeftmostLeaf(Node* node) {
   while (node != nullptr && !node->IsLeaf()) {

@@ -38,9 +38,6 @@ struct Node {
   bool IsLeaf() const { return height == 0; }
 };
 
-/// Recursively frees `node` and its subtree.
-void DestroySubtree(Node* node);
-
 /// First (leftmost) leaf under `node`, or nullptr for a childless subtree.
 Node* LeftmostLeaf(Node* node);
 

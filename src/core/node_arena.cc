@@ -1,0 +1,51 @@
+#include "core/node_arena.h"
+
+#include "common/string_util.h"
+
+namespace ltree {
+
+std::string NodeArenaStats::ToString() const {
+  return StrFormat(
+      "NodeArenaStats{fresh=%llu reused=%llu released=%llu chunks=%llu "
+      "live=%llu}",
+      static_cast<unsigned long long>(fresh_allocs),
+      static_cast<unsigned long long>(reused_allocs),
+      static_cast<unsigned long long>(releases),
+      static_cast<unsigned long long>(chunks),
+      static_cast<unsigned long long>(live()));
+}
+
+Node* NodeArena::Allocate() {
+  if (free_head_ != nullptr) {
+    Node* n = free_head_;
+    free_head_ = n->parent;
+    n->parent = nullptr;
+    ++stats_.reused_allocs;
+    return n;
+  }
+  if (used_in_last_chunk_ == kChunkNodes) {
+    chunks_.emplace_back(new Node[kChunkNodes]);
+    used_in_last_chunk_ = 0;
+    ++stats_.chunks;
+  }
+  ++stats_.fresh_allocs;
+  return &chunks_.back()[used_in_last_chunk_++];
+}
+
+void NodeArena::Release(Node* n) {
+  // Reset to the default-constructed state so Allocate() callers never see
+  // stale fields — but keep the children vector's heap buffer: recycled
+  // internal nodes are the whole point.
+  n->children.clear();
+  n->num = 0;
+  n->leaf_count = 1;
+  n->height = 0;
+  n->index_in_parent = 0;
+  n->cookie = 0;
+  n->deleted = false;
+  n->parent = free_head_;
+  free_head_ = n;
+  ++stats_.releases;
+}
+
+}  // namespace ltree

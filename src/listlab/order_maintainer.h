@@ -89,6 +89,14 @@ struct MaintStats {
   /// redistributions for Bender, full renumberings for Gap/Sequential).
   uint64_t rebalances = 0;
 
+  // ---- allocator traffic ----
+  // Filled by schemes with pooled node storage (the materialized L-Tree's
+  // NodeArena); zero for schemes without one. Windowed by ResetStats like
+  // every other counter.
+  uint64_t nodes_allocated = 0;  ///< fresh pool allocations (heap growth)
+  uint64_t nodes_reused = 0;     ///< allocations served by recycling
+  uint64_t nodes_released = 0;   ///< nodes returned for recycling
+
   double RelabelsPerInsert() const {
     return inserts == 0 ? 0.0
                         : static_cast<double>(items_relabeled) /

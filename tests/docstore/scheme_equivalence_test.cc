@@ -99,6 +99,57 @@ TEST_P(SchemeEquivalenceTest, RandomEditScriptMatchesDomGroundTruth) {
   ASSERT_TRUE(store->CheckConsistency().ok());
 }
 
+// Paper-fidelity sweep: the materialized and virtual L-Tree run the same
+// maintenance algorithm (Section 4.2), so an identical edit script through
+// the whole document pipeline must produce identical labels AND identical
+// maintenance statistics — relabels and rebalances are the paper's cost
+// currency, and the arena refactor must never change them. Only the
+// allocator-traffic counters may differ (the virtual variant has no node
+// arena and reports zeros).
+TEST(SchemeStatsFidelityTest, MaterializedAndVirtualAgreeOnCostStats) {
+  const std::string xml = workload::GenerateCatalogXml(8, 2, 42);
+  auto mat = LabeledDocument::FromXml(xml, "ltree:16:4").MoveValueUnsafe();
+  auto virt = LabeledDocument::FromXml(xml, "virtual:16:4").MoveValueUnsafe();
+
+  auto run_script = [](LabeledDocument& store) {
+    auto books_q = query::PathQuery::Parse("/site/books").ValueOrDie();
+    const xml::NodeId books_id =
+        query::EvaluateWithLabels(books_q, store.table())[0]->id;
+    Rng rng(4242);  // same stream for both schemes
+    for (int op = 0; op < 40; ++op) {
+      auto rows = store.table().AllElements();
+      const xml::NodeId target = rows[rng.Uniform(rows.size())]->id;
+      const uint64_t dice = rng.Uniform(3);
+      if (dice == 0) {
+        ASSERT_TRUE(store
+                        .InsertFragment(books_id, 0,
+                                        "<book><title>t</title></book>")
+                        .ok());
+      } else if (dice == 1) {
+        ASSERT_TRUE(store.InsertElement(target, 0, "edit").ok());
+      } else {
+        ASSERT_TRUE(store.InsertText(target, 0, "note").ok());
+      }
+    }
+  };
+  run_script(*mat);
+  run_script(*virt);
+
+  EXPECT_EQ(mat->label_store().Labels(), virt->label_store().Labels());
+  const listlab::MaintStats& ms = mat->label_store().stats();
+  const listlab::MaintStats& vs = virt->label_store().stats();
+  EXPECT_EQ(ms.inserts, vs.inserts);
+  EXPECT_EQ(ms.batch_inserts, vs.batch_inserts);
+  EXPECT_EQ(ms.items_relabeled, vs.items_relabeled);
+  EXPECT_EQ(ms.rebalances, vs.rebalances);
+  // Arena counters: present on the materialized side, zero on the virtual.
+  EXPECT_GT(ms.nodes_allocated, 0u);
+  EXPECT_EQ(vs.nodes_allocated, 0u);
+  EXPECT_EQ(vs.nodes_reused, 0u);
+  ASSERT_TRUE(mat->CheckConsistency().ok());
+  ASSERT_TRUE(virt->CheckConsistency().ok());
+}
+
 // The full parse -> edit -> query pipeline must run under (at least) these
 // five scheme families — the acceptance bar for the pluggable LabelStore.
 INSTANTIATE_TEST_SUITE_P(Schemes, SchemeEquivalenceTest,

@@ -8,6 +8,7 @@
 #include "listlab/gap_list.h"
 #include "listlab/ltree_store.h"
 #include "listlab/sequential_list.h"
+#include "workload/update_stream.h"
 
 namespace ltree {
 namespace listlab {
@@ -363,6 +364,68 @@ INSTANTIATE_TEST_SUITE_P(Schemes, ListenerTest,
                            }
                            return name;
                          });
+
+// ---------------------------------------------------------------------------
+// Seed-golden maintenance stats: the paper-fidelity gate for perf work.
+// The expected numbers were captured from the seed (pre-arena) build over a
+// fixed uniform insert stream; any optimization of the L-Tree hot path must
+// keep them bit-identical, since the paper's cost accounting counts node
+// accesses, not wall time.
+// ---------------------------------------------------------------------------
+
+struct GoldenSweep {
+  const char* spec;
+  uint64_t items_relabeled;
+  uint64_t rebalances;
+  uint32_t label_bits;
+};
+
+class GoldenSweepTest : public ::testing::TestWithParam<GoldenSweep> {};
+
+TEST_P(GoldenSweepTest, UniformStreamStatsMatchSeed) {
+  const GoldenSweep& want = GetParam();
+  auto store = MakeLabelStore(want.spec).ValueOrDie();
+  std::vector<ItemHandle> handles;
+  ASSERT_TRUE(store->BulkLoad(500, &handles).ok());
+  store->ResetStats();
+  workload::UpdateStream stream(workload::StreamOptions{
+      .kind = workload::StreamKind::kUniform, .seed = 77});
+  for (uint64_t i = 0; i < 2000; ++i) {
+    const auto op = stream.Next(handles.size());
+    auto h = store->InsertAfter(handles[op.rank], 500 + i);
+    ASSERT_TRUE(h.ok());
+    handles.push_back(*h);
+  }
+  ASSERT_TRUE(store->CheckInvariants().ok());
+  const MaintStats& st = store->stats();
+  EXPECT_EQ(st.items_relabeled, want.items_relabeled) << store->name();
+  EXPECT_EQ(st.rebalances, want.rebalances) << store->name();
+  EXPECT_EQ(store->label_bits(), want.label_bits) << store->name();
+  EXPECT_EQ(st.inserts, 2000u);
+  // Allocator-traffic accounting must balance: the materialized L-Tree
+  // reports arena counters, the virtual variant reports zeros.
+  if (std::string(want.spec).rfind("ltree", 0) == 0) {
+    EXPECT_GT(st.nodes_allocated, 0u) << store->name();
+    EXPECT_GT(st.nodes_reused, 0u) << store->name();
+    EXPECT_GT(st.nodes_released, 0u) << store->name();
+  } else {
+    EXPECT_EQ(st.nodes_allocated, 0u) << store->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedGolden, GoldenSweepTest,
+    ::testing::Values(
+        GoldenSweep{"ltree:16:4", 13008, 60, 21},
+        GoldenSweep{"virtual:16:4", 13008, 60, 21},
+        GoldenSweep{"ltree:8:2:purge", 17065, 246, 20}),
+    [](const auto& info) {
+      std::string name = info.param.spec;
+      for (char& c : name) {
+        if (c == ':' || c == '.') c = '_';
+      }
+      return name;
+    });
 
 }  // namespace
 }  // namespace listlab
