@@ -33,6 +33,27 @@ void LTree::ResetStats() {
   arena_base_ = arena_.stats();
 }
 
+namespace {
+
+uint64_t ChildBufferBytes(const Node* n) {
+  uint64_t bytes = n->children.capacity() * sizeof(Node*);
+  for (const Node* c : n->children) bytes += ChildBufferBytes(c);
+  return bytes;
+}
+
+}  // namespace
+
+uint64_t LTree::ApproxHeapBytes() const {
+  uint64_t bytes = arena_.stats().chunks * NodeArena::kChunkNodes *
+                       sizeof(Node) +
+                   ChildBufferBytes(root_);
+  // Free-list nodes keep their children buffers for reuse; count them too.
+  arena_.ForEachFree([&bytes](const Node* n) {
+    bytes += n->children.capacity() * sizeof(Node*);
+  });
+  return bytes;
+}
+
 Result<std::unique_ptr<LTree>> LTree::Create(const Params& params) {
   LTREE_ASSIGN_OR_RETURN(PowerTable powers, PowerTable::Make(params));
   return std::unique_ptr<LTree>(new LTree(params, std::move(powers)));

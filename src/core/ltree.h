@@ -143,6 +143,12 @@ class LTree {
   /// the conservation tests assert.
   const NodeArenaStats& arena_stats() const { return arena_.stats(); }
 
+  /// Measured heap footprint: arena chunks (sizeof(Node) per slot, live or
+  /// free) plus every reachable node's children buffer — the materialized
+  /// side of the Section 4.2 space bench, mirroring
+  /// CountedBTree::ApproxHeapBytes so the comparison shares one policy.
+  uint64_t ApproxHeapBytes() const;
+
   /// Receives label-change notifications; may be nullptr.
   void set_listener(RelabelListener* listener) { listener_ = listener; }
 

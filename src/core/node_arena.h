@@ -1,93 +1,40 @@
-// Chunked pool allocator for L-Tree nodes with free-list recycling.
+// Chunked pool allocator for materialized L-Tree nodes.
 //
 // The paper's cost model (Section 3.1) counts node accesses, but wall time
 // on the insert hot path is dominated by allocator traffic: every leaf and
 // internal Node used to be a separate `new`, and every split (Section 2.3)
 // freed the violator's whole internal skeleton only to immediately
-// re-allocate it when building the s replacement subtrees. The arena makes
-// both cheap:
-//
-//  * nodes are carved from fixed-size chunks, so a fresh allocation is a
-//    bump of a chunk cursor (and chunk-local nodes are address-contiguous,
-//    which the rebuild's depth-first construction turns into sequential
-//    memory traffic);
-//  * Release() pushes a node onto an intrusive free list (threaded through
-//    Node::parent) and the next Allocate() pops it, so a rebuild's
-//    re-allocation is served entirely by the skeleton it just released —
-//    including each recycled internal node's `children` vector, whose heap
-//    buffer is deliberately kept (clear() preserves capacity);
-//  * nothing is returned to the system allocator until the arena dies, and
-//    the arena frees its chunks wholesale, so tree teardown never walks the
-//    structure.
-//
-// Counters (NodeArenaStats) separate fresh allocations (real heap growth)
-// from free-list reuse, which is exactly the "allocations per insert"
-// column of the perf-trajectory benches.
-//
-// Thread-compatibility: externally synchronized, like the LTree that owns
-// it.
+// re-allocate it when building the s replacement subtrees. This is the
+// L-Tree instantiation of the generic chunked pool (core/pool_arena.h);
+// the free list threads through Node::parent, which is meaningless for an
+// unreachable node, so recycling costs no extra space.
 
 #ifndef LTREE_CORE_NODE_ARENA_H_
 #define LTREE_CORE_NODE_ARENA_H_
 
-#include <cstdint>
-#include <memory>
-#include <string>
-#include <vector>
-
 #include "core/node.h"
+#include "core/pool_arena.h"
 
 namespace ltree {
 
-/// Allocator-traffic counters. Monotonic over the arena's lifetime;
-/// consumers wanting per-window numbers (LTree::ResetStats) snapshot and
-/// subtract.
-struct NodeArenaStats {
-  uint64_t fresh_allocs = 0;   ///< nodes carved from a chunk (heap growth)
-  uint64_t reused_allocs = 0;  ///< nodes served from the free list
-  uint64_t releases = 0;       ///< nodes returned for recycling
-  uint64_t chunks = 0;         ///< chunks allocated so far
+/// Allocator-traffic counters (see PoolArenaStats).
+using NodeArenaStats = PoolArenaStats;
 
-  /// Every allocation request ever served (== the `new` count the
-  /// pre-arena code would have issued).
-  uint64_t TotalAllocs() const { return fresh_allocs + reused_allocs; }
-
-  /// Nodes currently handed out (allocated and not yet released).
-  uint64_t live() const { return TotalAllocs() - releases; }
-
-  std::string ToString() const;
+struct LTreeNodeArenaTraits {
+  static void SetFreeNext(Node* n, Node* next) { n->parent = next; }
+  static Node* GetFreeNext(Node* n) { return n->parent; }
+  static void Recycle(Node* n) {
+    n->children.clear();  // keeps the heap buffer for the next reuse
+    n->num = 0;
+    n->leaf_count = 1;
+    n->height = 0;
+    n->index_in_parent = 0;
+    n->cookie = 0;
+    n->deleted = false;
+  }
 };
 
-class NodeArena {
- public:
-  /// Nodes per chunk. 256 nodes ≈ 20 KB of Node headers per chunk: big
-  /// enough that chunk allocation is off the hot path, small enough that a
-  /// tiny tree doesn't pin megabytes.
-  static constexpr size_t kChunkNodes = 256;
-
-  NodeArena() = default;
-  ~NodeArena() = default;  // chunks own every node, free list included
-  NodeArena(const NodeArena&) = delete;
-  NodeArena& operator=(const NodeArena&) = delete;
-
-  /// Returns a node in the default-constructed (fresh leaf) state, either
-  /// recycled from the free list or carved from a chunk.
-  Node* Allocate();
-
-  /// Returns `n` to the free list. The node must have been obtained from
-  /// this arena and must no longer be reachable from any tree structure;
-  /// its children vector keeps its capacity for the next reuse.
-  void Release(Node* n);
-
-  const NodeArenaStats& stats() const { return stats_; }
-
- private:
-  std::vector<std::unique_ptr<Node[]>> chunks_;
-  size_t used_in_last_chunk_ = kChunkNodes;  // "full" => first Allocate
-                                             // opens a chunk
-  Node* free_head_ = nullptr;  // intrusive list threaded through ->parent
-  NodeArenaStats stats_;
-};
+using NodeArena = PoolArena<Node, LTreeNodeArenaTraits>;
 
 }  // namespace ltree
 

@@ -1,0 +1,18 @@
+#include "core/pool_arena.h"
+
+#include "common/string_util.h"
+
+namespace ltree {
+
+std::string PoolArenaStats::ToString() const {
+  return StrFormat(
+      "PoolArenaStats{fresh=%llu reused=%llu released=%llu chunks=%llu "
+      "live=%llu}",
+      static_cast<unsigned long long>(fresh_allocs),
+      static_cast<unsigned long long>(reused_allocs),
+      static_cast<unsigned long long>(releases),
+      static_cast<unsigned long long>(chunks),
+      static_cast<unsigned long long>(live()));
+}
+
+}  // namespace ltree

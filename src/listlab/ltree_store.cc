@@ -321,6 +321,9 @@ const MaintStats& VirtualLTreeStore::stats() const {
   stats_.batch_inserts = ts.batch_inserts;
   stats_.items_relabeled = ts.labels_rewritten;
   stats_.rebalances = ts.splits + ts.root_splits;
+  stats_.nodes_allocated = ts.nodes_allocated;
+  stats_.nodes_reused = ts.nodes_reused;
+  stats_.nodes_released = ts.nodes_released;
   return stats_;
 }
 

@@ -18,16 +18,42 @@ struct CountedBTree::Node {
   std::vector<uint64_t> values;
   /// Internal only.
   std::vector<Node*> children;
+  /// Arena free-list link; meaningless while the node is reachable.
+  Node* free_next = nullptr;
 };
 
 namespace {
 
 using Node = CountedBTree::Node;
 
-void DestroyNode(Node* n) {
+struct BTreeNodeArenaTraits {
+  static void SetFreeNext(Node* n, Node* next) { n->free_next = next; }
+  static Node* GetFreeNext(Node* n) { return n->free_next; }
+  static void Recycle(Node* n) {
+    n->leaf = true;
+    n->count = 0;
+    // clear() keeps each heap buffer for the next reuse; children are
+    // never destroyed here — merge/teardown move or release them first.
+    n->keys.clear();
+    n->values.clear();
+    n->children.clear();
+  }
+};
+
+}  // namespace
+
+class BTreeNodeArena final
+    : public PoolArena<Node, BTreeNodeArenaTraits> {};
+
+namespace {
+
+/// Returns a whole subtree to the free list (so Clear()/BulkBuild rebuilds
+/// — every virtual root split — recycle the old structure). Wholesale
+/// teardown goes through the arena's chunk drop instead.
+void ReleaseTree(BTreeNodeArena* arena, Node* n) {
   if (n == nullptr) return;
-  for (Node* c : n->children) DestroyNode(c);
-  delete n;
+  for (Node* c : n->children) ReleaseTree(arena, c);
+  arena->Release(n);
 }
 
 /// Smallest key in the subtree.
@@ -50,30 +76,48 @@ struct SplitResult {
 
 }  // namespace
 
-CountedBTree::CountedBTree(uint32_t order) : order_(order) {
+CountedBTree::CountedBTree(uint32_t order)
+    : order_(order), arena_(std::make_unique<BTreeNodeArena>()) {
   LTREE_CHECK(order_ >= 4);
 }
 
-CountedBTree::~CountedBTree() { DestroyNode(root_); }
+// Every node lives in arena chunks, which free wholesale — no tree walk.
+CountedBTree::~CountedBTree() = default;
 
+// A moved-from tree keeps a null arena (so the noexcept moves never
+// allocate); the invariant is arena_ == nullptr implies root_ == nullptr,
+// and the two entry points that can grow an empty tree re-arm it lazily.
 CountedBTree::CountedBTree(CountedBTree&& other) noexcept
-    : root_(other.root_), order_(other.order_) {
+    : root_(other.root_),
+      order_(other.order_),
+      arena_(std::move(other.arena_)) {
   other.root_ = nullptr;
 }
 
 CountedBTree& CountedBTree::operator=(CountedBTree&& other) noexcept {
   if (this != &other) {
-    DestroyNode(root_);
     root_ = other.root_;
     order_ = other.order_;
+    arena_ = std::move(other.arena_);  // old nodes die with the old arena
     other.root_ = nullptr;
   }
   return *this;
 }
 
+BTreeNodeArena* CountedBTree::EnsureArena() {
+  if (arena_ == nullptr) arena_ = std::make_unique<BTreeNodeArena>();
+  return arena_.get();
+}
+
 void CountedBTree::Clear() {
-  DestroyNode(root_);
+  if (root_ == nullptr) return;
+  ReleaseTree(arena_.get(), root_);
   root_ = nullptr;
+}
+
+const PoolArenaStats& CountedBTree::arena_stats() const {
+  static const PoolArenaStats kEmpty;
+  return arena_ == nullptr ? kEmpty : arena_->stats();
 }
 
 uint64_t CountedBTree::size() const {
@@ -87,7 +131,8 @@ uint64_t CountedBTree::size() const {
 namespace {
 
 Result<SplitResult*> InsertRec(Node* n, Label key, uint64_t value,
-                               uint32_t order, SplitResult* split_storage) {
+                               uint32_t order, BTreeNodeArena* arena,
+                               SplitResult* split_storage) {
   if (n->leaf) {
     auto it = std::lower_bound(n->keys.begin(), n->keys.end(), key);
     const size_t pos = static_cast<size_t>(it - n->keys.begin());
@@ -99,7 +144,7 @@ Result<SplitResult*> InsertRec(Node* n, Label key, uint64_t value,
     n->count = n->keys.size();
     if (n->keys.size() <= order) return static_cast<SplitResult*>(nullptr);
     // Split the leaf in half.
-    Node* right = new Node;
+    Node* right = arena->Allocate();
     right->leaf = true;
     const size_t half = n->keys.size() / 2;
     right->keys.assign(n->keys.begin() + half, n->keys.end());
@@ -116,7 +161,7 @@ Result<SplitResult*> InsertRec(Node* n, Label key, uint64_t value,
   const uint32_t ci = ChildIndex(n, key);
   SplitResult child_split;
   LTREE_ASSIGN_OR_RETURN(SplitResult * split,
-                         InsertRec(n->children[ci], key, value, order,
+                         InsertRec(n->children[ci], key, value, order, arena,
                                    &child_split));
   ++n->count;
   if (split == nullptr) return static_cast<SplitResult*>(nullptr);
@@ -124,7 +169,7 @@ Result<SplitResult*> InsertRec(Node* n, Label key, uint64_t value,
   n->children.insert(n->children.begin() + ci + 1, split->right);
   if (n->children.size() <= order) return static_cast<SplitResult*>(nullptr);
   // Split this internal node.
-  Node* right = new Node;
+  Node* right = arena->Allocate();
   right->leaf = false;
   const size_t half_children = n->children.size() / 2;
   // Separator promoted upward is the min key of the right half.
@@ -146,16 +191,17 @@ Result<SplitResult*> InsertRec(Node* n, Label key, uint64_t value,
 }  // namespace
 
 Status CountedBTree::Insert(Label key, uint64_t value) {
+  EnsureArena();
   if (root_ == nullptr) {
-    root_ = new Node;
+    root_ = arena_->Allocate();
     root_->leaf = true;
   }
   SplitResult split_storage;
   LTREE_ASSIGN_OR_RETURN(
       SplitResult * split,
-      InsertRec(root_, key, value, order_, &split_storage));
+      InsertRec(root_, key, value, order_, arena_.get(), &split_storage));
   if (split != nullptr) {
-    Node* new_root = new Node;
+    Node* new_root = arena_->Allocate();
     new_root->leaf = false;
     new_root->children = {root_, split->right};
     new_root->keys = {split->separator};
@@ -209,7 +255,8 @@ bool CountedBTree::Contains(Label key) const { return Lookup(key).ok(); }
 namespace {
 
 /// Rebalances n->children[ci] after a deletion left it underfull.
-void FixUnderflow(Node* n, uint32_t ci, uint32_t order) {
+void FixUnderflow(Node* n, uint32_t ci, uint32_t order,
+                  BTreeNodeArena* arena) {
   Node* child = n->children[ci];
   const size_t min_fill = order / 2;
   const size_t child_size =
@@ -289,8 +336,9 @@ void FixUnderflow(Node* n, uint32_t ci, uint32_t order) {
                             child->children.end());
       left->count += child->count;
     }
-    child->children.clear();
-    delete child;
+    // The merged-away node's children now live under `left`; Release only
+    // recycles the husk (clearing, not destroying, its child list).
+    arena->Release(child);
     n->children.erase(n->children.begin() + ci);
     n->keys.erase(n->keys.begin() + (ci - 1));
   } else {
@@ -311,14 +359,14 @@ void FixUnderflow(Node* n, uint32_t ci, uint32_t order) {
                              right->children.end());
       child->count += right->count;
     }
-    right->children.clear();
-    delete right;
+    arena->Release(right);
     n->children.erase(n->children.begin() + ci + 1);
     n->keys.erase(n->keys.begin() + ci);
   }
 }
 
-Status DeleteRec(Node* n, Label key, uint32_t order) {
+Status DeleteRec(Node* n, Label key, uint32_t order,
+                 BTreeNodeArena* arena) {
   if (n->leaf) {
     auto it = std::lower_bound(n->keys.begin(), n->keys.end(), key);
     if (it == n->keys.end() || *it != key) {
@@ -331,14 +379,14 @@ Status DeleteRec(Node* n, Label key, uint32_t order) {
     return Status::OK();
   }
   const uint32_t ci = ChildIndex(n, key);
-  LTREE_RETURN_IF_ERROR(DeleteRec(n->children[ci], key, order));
+  LTREE_RETURN_IF_ERROR(DeleteRec(n->children[ci], key, order, arena));
   --n->count;
   // Deleting the subtree minimum stales the separator left of ci; fix it
   // while children[ci] still exists (FixUnderflow may merge it away).
   if (ci > 0) {
     n->keys[ci - 1] = MinKey(n->children[ci]);
   }
-  FixUnderflow(n, ci, order);
+  FixUnderflow(n, ci, order, arena);
   return Status::OK();
 }
 
@@ -346,14 +394,13 @@ Status DeleteRec(Node* n, Label key, uint32_t order) {
 
 Status CountedBTree::Delete(Label key) {
   if (root_ == nullptr) return Status::NotFound("empty tree");
-  LTREE_RETURN_IF_ERROR(DeleteRec(root_, key, order_));
+  LTREE_RETURN_IF_ERROR(DeleteRec(root_, key, order_, arena_.get()));
   if (!root_->leaf && root_->children.size() == 1) {
     Node* only = root_->children.front();
-    root_->children.clear();
-    delete root_;
+    arena_->Release(root_);  // root collapse: the surviving child lives on
     root_ = only;
   } else if (root_->leaf && root_->keys.empty()) {
-    delete root_;
+    arena_->Release(root_);
     root_ = nullptr;
   }
   return Status::OK();
@@ -526,6 +573,7 @@ Status CountedBTree::BulkBuild(std::span<const Entry> entries) {
   }
   Clear();
   if (entries.empty()) return Status::OK();
+  EnsureArena();
 
   // Build the leaf level at ~3/4 fill (leaving slack for inserts), then
   // stack internal levels on top.
@@ -545,7 +593,7 @@ Status CountedBTree::BulkBuild(std::span<const Entry> entries) {
         len = (len + remaining) / 2;
       }
     }
-    Node* leaf = new Node;
+    Node* leaf = arena_->Allocate();
     leaf->leaf = true;
     for (size_t j = i; j < i + len; ++j) {
       leaf->keys.push_back(entries[j].key);
@@ -569,7 +617,7 @@ Status CountedBTree::BulkBuild(std::span<const Entry> entries) {
           len = (len + remaining) / 2;
         }
       }
-      Node* node = new Node;
+      Node* node = arena_->Allocate();
       node->leaf = false;
       for (size_t k = j; k < j + len; ++k) {
         node->children.push_back(level[k]);
@@ -671,6 +719,50 @@ Status CountedBTree::CheckInvariants() const {
   if (root_ == nullptr) return Status::OK();
   int leaf_depth = -1;
   return CheckNode(root_, order_, true, 0, &leaf_depth);
+}
+
+// --------------------------------------------------------------------------
+// Memory accounting
+// --------------------------------------------------------------------------
+
+namespace {
+
+uint64_t CountReachable(const Node* n) {
+  if (n == nullptr) return 0;
+  uint64_t total = 1;
+  for (const Node* c : n->children) total += CountReachable(c);
+  return total;
+}
+
+uint64_t BufferBytes(const Node* n) {
+  return n->keys.capacity() * sizeof(Label) +
+         n->values.capacity() * sizeof(uint64_t) +
+         n->children.capacity() * sizeof(Node*);
+}
+
+uint64_t HeapBytesUnder(const Node* n) {
+  if (n == nullptr) return 0;
+  uint64_t bytes = BufferBytes(n);
+  for (const Node* c : n->children) bytes += HeapBytesUnder(c);
+  return bytes;
+}
+
+}  // namespace
+
+uint64_t CountedBTree::NodeCount() const { return CountReachable(root_); }
+
+uint64_t CountedBTree::ApproxHeapBytes() const {
+  // Chunks pin sizeof(Node) per slot whether the slot is live or on the
+  // free list; per-node vector buffers come on top — including the buffers
+  // free-list nodes retain for reuse, which a reachable-only walk would
+  // miss after delete-heavy churn.
+  uint64_t bytes = arena_stats().chunks * BTreeNodeArena::kChunkNodes *
+                       sizeof(Node) +
+                   HeapBytesUnder(root_);
+  if (arena_ != nullptr) {
+    arena_->ForEachFree([&bytes](const Node* n) { bytes += BufferBytes(n); });
+  }
+  return bytes;
 }
 
 }  // namespace obtree

@@ -15,6 +15,7 @@
 #define LTREE_OBTREE_COUNTED_BTREE_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <utility>
 #include <vector>
@@ -22,9 +23,14 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "core/params.h"
+#include "core/pool_arena.h"
 
 namespace ltree {
 namespace obtree {
+
+/// Chunked pool behind every CountedBTree node (defined in the .cc, where
+/// the node layout lives; a PoolArena instantiation like core/NodeArena).
+class BTreeNodeArena;
 
 /// One key/value entry.
 struct Entry {
@@ -126,13 +132,31 @@ class CountedBTree {
 
   uint32_t order() const { return order_; }
 
+  /// Lifetime allocator counters of the node pool (monotonic; never
+  /// reset). arena_stats().live() equals NodeCount() at every quiescent
+  /// point — the conservation property the obtree arena tests assert.
+  const PoolArenaStats& arena_stats() const;
+
+  /// Number of nodes currently reachable from the root. O(n) walk; meant
+  /// for tests and memory accounting, not hot paths.
+  uint64_t NodeCount() const;
+
+  /// Measured heap footprint: arena chunks plus every reachable node's
+  /// key/value/child buffer capacities (for the Section 4.2 space bench).
+  uint64_t ApproxHeapBytes() const;
+
   /// Opaque node type (defined in the .cc; public so file-local helpers can
   /// name it).
   struct Node;
 
  private:
+  /// Re-creates the arena if a move emptied it (arena_ == nullptr implies
+  /// root_ == nullptr, so only Insert/BulkBuild ever need this).
+  BTreeNodeArena* EnsureArena();
+
   Node* root_ = nullptr;
   uint32_t order_;
+  std::unique_ptr<BTreeNodeArena> arena_;
 };
 
 }  // namespace obtree

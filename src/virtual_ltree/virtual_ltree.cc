@@ -13,7 +13,8 @@ std::string VirtualLTreeStats::ToString() const {
   return StrFormat(
       "VirtualLTreeStats{inserts=%llu batch_leaves=%llu deletes=%llu "
       "splits=%llu root_splits=%llu escalations=%llu range_counts=%llu "
-      "labels_rewritten=%llu purged=%llu}",
+      "labels_rewritten=%llu purged=%llu nodes_allocated=%llu "
+      "nodes_reused=%llu nodes_released=%llu arena_chunks=%llu}",
       static_cast<unsigned long long>(inserts),
       static_cast<unsigned long long>(batch_leaves),
       static_cast<unsigned long long>(deletes),
@@ -22,7 +23,25 @@ std::string VirtualLTreeStats::ToString() const {
       static_cast<unsigned long long>(escalations),
       static_cast<unsigned long long>(range_counts),
       static_cast<unsigned long long>(labels_rewritten),
-      static_cast<unsigned long long>(tombstones_purged));
+      static_cast<unsigned long long>(tombstones_purged),
+      static_cast<unsigned long long>(nodes_allocated),
+      static_cast<unsigned long long>(nodes_reused),
+      static_cast<unsigned long long>(nodes_released),
+      static_cast<unsigned long long>(arena_chunks));
+}
+
+const VirtualLTreeStats& VirtualLTree::stats() const {
+  const PoolArenaStats& a = btree_.arena_stats();
+  stats_.nodes_allocated = a.fresh_allocs - arena_base_.fresh_allocs;
+  stats_.nodes_reused = a.reused_allocs - arena_base_.reused_allocs;
+  stats_.nodes_released = a.releases - arena_base_.releases;
+  stats_.arena_chunks = a.chunks - arena_base_.chunks;
+  return stats_;
+}
+
+void VirtualLTree::ResetStats() {
+  stats_ = VirtualLTreeStats();
+  arena_base_ = btree_.arena_stats();
 }
 
 VirtualLTree::VirtualLTree(const Params& params, PowerTable powers)
@@ -493,9 +512,9 @@ std::vector<Label> VirtualLTree::LiveLabels() const {
 }
 
 uint64_t VirtualLTree::ApproxMemoryBytes() const {
-  // Entries are 16 bytes; B+-tree nodes at ~3/4 fill add pointers and
-  // separators: ~1.7x raw entry volume is a fair estimate.
-  return btree_.size() * 16 * 17 / 10;
+  // Measured, not estimated, now that the B+-tree's nodes live in pool
+  // chunks: chunk slots plus every reachable node's buffer capacities.
+  return btree_.ApproxHeapBytes();
 }
 
 // --------------------------------------------------------------------------

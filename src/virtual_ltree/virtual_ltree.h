@@ -50,6 +50,13 @@ struct VirtualLTreeStats {
   uint64_t range_counts = 0;
   /// Labels written back by relabeling (excluding fresh leaves).
   uint64_t labels_rewritten = 0;
+  /// Allocator traffic of the counted B+-tree's node pool, windowed by
+  /// ResetStats() like everything else (the virtual scheme's analogue of
+  /// LTreeStats' arena counters).
+  uint64_t nodes_allocated = 0;  ///< fresh pool allocations (heap growth)
+  uint64_t nodes_reused = 0;     ///< allocations served by recycling
+  uint64_t nodes_released = 0;   ///< nodes returned for recycling
+  uint64_t arena_chunks = 0;     ///< system allocations (256-node chunks)
 
   std::string ToString() const;
 };
@@ -121,8 +128,21 @@ class VirtualLTree {
   std::vector<Label> LiveLabels() const;
 
   const Params& params() const { return params_; }
-  const VirtualLTreeStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = VirtualLTreeStats(); }
+
+  /// Operation counters since the last ResetStats(). The allocator-traffic
+  /// fields (nodes_allocated/reused/released/arena_chunks) are refreshed
+  /// from the B+-tree's node pool on every call, windowed the same way as
+  /// the B-tree-operation counters.
+  const VirtualLTreeStats& stats() const;
+
+  /// Restarts the stats window (B-tree operations and allocator traffic).
+  void ResetStats();
+
+  /// Lifetime pool counters of the underlying counted B+-tree (monotonic;
+  /// never reset). arena_stats().live() equals the B+-tree's reachable
+  /// node count — the conservation property the obtree tests assert.
+  const PoolArenaStats& arena_stats() const { return btree_.arena_stats(); }
+
   void set_listener(RelabelListener* listener) { listener_ = listener; }
 
   /// Bytes of heap the label store roughly occupies (for the Section 4.2
@@ -178,7 +198,8 @@ class VirtualLTree {
   obtree::CountedBTree btree_;
   uint32_t height_ = 1;
   uint64_t live_leaves_ = 0;
-  VirtualLTreeStats stats_;
+  mutable VirtualLTreeStats stats_;  ///< alloc fields refreshed by stats()
+  PoolArenaStats arena_base_;        ///< pool snapshot at last ResetStats()
   RelabelListener* listener_ = nullptr;
 };
 

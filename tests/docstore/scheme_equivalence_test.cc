@@ -103,9 +103,11 @@ TEST_P(SchemeEquivalenceTest, RandomEditScriptMatchesDomGroundTruth) {
 // maintenance algorithm (Section 4.2), so an identical edit script through
 // the whole document pipeline must produce identical labels AND identical
 // maintenance statistics — relabels and rebalances are the paper's cost
-// currency, and the arena refactor must never change them. Only the
-// allocator-traffic counters may differ (the virtual variant has no node
-// arena and reports zeros).
+// currency, and the arena refactors must never change them. Only the
+// allocator-traffic counters may differ in value (each scheme pools its
+// own node type: L-Tree nodes vs counted-B+-tree nodes), but BOTH sides
+// must report real nonzero traffic — the virtual store silently reporting
+// zeros was exactly the accounting bug this pins against regressing.
 TEST(SchemeStatsFidelityTest, MaterializedAndVirtualAgreeOnCostStats) {
   const std::string xml = workload::GenerateCatalogXml(8, 2, 42);
   auto mat = LabeledDocument::FromXml(xml, "ltree:16:4").MoveValueUnsafe();
@@ -142,10 +144,15 @@ TEST(SchemeStatsFidelityTest, MaterializedAndVirtualAgreeOnCostStats) {
   EXPECT_EQ(ms.batch_inserts, vs.batch_inserts);
   EXPECT_EQ(ms.items_relabeled, vs.items_relabeled);
   EXPECT_EQ(ms.rebalances, vs.rebalances);
-  // Arena counters: present on the materialized side, zero on the virtual.
+  // Arena counters: both stores run over pooled nodes, so after inserts
+  // both must report real allocator traffic (never silent zeros again).
   EXPECT_GT(ms.nodes_allocated, 0u);
-  EXPECT_EQ(vs.nodes_allocated, 0u);
-  EXPECT_EQ(vs.nodes_reused, 0u);
+  EXPECT_GT(vs.nodes_allocated, 0u);
+  // The edit script splits virtual intervals, and a virtual split rewrites
+  // B+-tree entries (Delete frees nodes via merges, Insert re-splits), so
+  // recycling must have both released and reused nodes.
+  EXPECT_GT(vs.nodes_released, 0u);
+  EXPECT_GT(vs.nodes_reused, 0u);
   ASSERT_TRUE(mat->CheckConsistency().ok());
   ASSERT_TRUE(virt->CheckConsistency().ok());
 }

@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Diff two runs of the BENCH_*.json perf-trajectory artifacts.
+
+The bench smoke step in CI used to only range-check a single run; this
+script compares consecutive runs so drifts that stay inside the static
+ranges are still visible (and can be made fatal).
+
+Usage:
+    bench_trend.py OLD NEW [--fail-above PCT]
+
+OLD and NEW are either two BENCH_*.json files of the same bench, or two
+directories; for directories, every BENCH_*.json basename present in both
+is compared. Records are matched positionally and their identity fields
+(the non-measurement columns: f, s, n, k, inserts, spec, scheme) must
+agree, otherwise the pair is skipped with a warning — a changed sweep
+shape is a bench change, not a regression.
+
+Every shared numeric measurement is reported as old -> new (delta%). With
+--fail-above PCT the exit status is 1 if any lower-is-better metric (wall
+times, per-leaf allocator columns, the materialized-vs-virtual ratios)
+regressed by more than PCT percent.
+"""
+
+import argparse
+import json
+import math
+import os
+import re
+import sys
+
+IDENTITY_FIELDS = ("f", "s", "n", "k", "inserts", "spec", "scheme")
+
+# Lower-is-better measurement columns, eligible for --fail-above.
+LOWER_IS_BETTER = re.compile(
+    r"(_ms$|_seconds$|^wall|per_leaf$|per_insert$|_ratio$|^mallocs|"
+    r"^virt_mallocs$)"
+)
+
+# Identity-ish or boolean columns that should never be treated as a trend.
+SKIP_FIELDS = set(IDENTITY_FIELDS) | {"labels_equal", "label_space",
+                                      "label_bits", "height"}
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def pct_delta(old, new):
+    if old == 0:
+        return math.inf if new != 0 else 0.0
+    return 100.0 * (new - old) / abs(old)
+
+
+def record_identity(record):
+    return {k: record[k] for k in IDENTITY_FIELDS if k in record}
+
+
+def compare_bench(name, old_doc, new_doc, fail_above):
+    regressions = []
+    old_results = old_doc.get("results", [])
+    new_results = new_doc.get("results", [])
+    if len(old_results) != len(new_results):
+        print(f"[{name}] record count changed "
+              f"{len(old_results)} -> {len(new_results)}; skipping "
+              f"(sweep shape changed)")
+        return regressions
+    for i, (old, new) in enumerate(zip(old_results, new_results)):
+        if record_identity(old) != record_identity(new):
+            print(f"[{name}] record {i} identity changed "
+                  f"{record_identity(old)} -> {record_identity(new)}; "
+                  f"skipping record")
+            continue
+        ident = " ".join(f"{k}={v}" for k, v in record_identity(old).items())
+        for key, old_val in old.items():
+            if key in SKIP_FIELDS or key not in new:
+                continue
+            new_val = new[key]
+            if not isinstance(old_val, (int, float)) or \
+               not isinstance(new_val, (int, float)):
+                continue
+            delta = pct_delta(old_val, new_val)
+            marker = ""
+            if fail_above is not None and LOWER_IS_BETTER.search(key) and \
+               delta > fail_above:
+                marker = "  <-- REGRESSION"
+                regressions.append((name, ident, key, old_val, new_val,
+                                    delta))
+            print(f"[{name}] {ident:<40} {key:<28} "
+                  f"{old_val:>12.4f} -> {new_val:>12.4f}  "
+                  f"({delta:+8.2f}%){marker}")
+    return regressions
+
+
+def resolve_pairs(old_path, new_path):
+    if os.path.isdir(old_path) and os.path.isdir(new_path):
+        old_names = {n for n in os.listdir(old_path)
+                     if n.startswith("BENCH_") and n.endswith(".json")}
+        new_names = {n for n in os.listdir(new_path)
+                     if n.startswith("BENCH_") and n.endswith(".json")}
+        for name in sorted(old_names & new_names):
+            yield name, os.path.join(old_path, name), \
+                os.path.join(new_path, name)
+        for name in sorted(old_names ^ new_names):
+            side = "previous" if name in old_names else "current"
+            print(f"[{name}] only present in the {side} run; skipping")
+    else:
+        yield os.path.basename(new_path), old_path, new_path
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("old", help="previous run: BENCH_*.json or directory")
+    parser.add_argument("new", help="current run: BENCH_*.json or directory")
+    parser.add_argument("--fail-above", type=float, default=None,
+                        metavar="PCT",
+                        help="exit 1 if a lower-is-better metric regressed "
+                             "by more than PCT percent")
+    args = parser.parse_args()
+
+    regressions = []
+    compared = 0
+    for name, old_file, new_file in resolve_pairs(args.old, args.new):
+        old_doc, new_doc = load(old_file), load(new_file)
+        if old_doc.get("bench") != new_doc.get("bench"):
+            print(f"[{name}] bench name changed "
+                  f"{old_doc.get('bench')!r} -> {new_doc.get('bench')!r}; "
+                  f"skipping")
+            continue
+        compared += 1
+        regressions += compare_bench(name, old_doc, new_doc,
+                                     args.fail_above)
+
+    if compared == 0:
+        print("no comparable BENCH_*.json pairs found")
+        return 0
+    if regressions:
+        print(f"\n{len(regressions)} metric(s) regressed beyond "
+              f"{args.fail_above}%:")
+        for name, ident, key, old_val, new_val, delta in regressions:
+            print(f"  [{name}] {ident}: {key} {old_val} -> {new_val} "
+                  f"({delta:+.2f}%)")
+        return 1
+    print(f"\ncompared {compared} bench file(s); no regressions flagged")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
