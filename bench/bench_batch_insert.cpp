@@ -37,7 +37,10 @@ struct BatchRunResult {
   double cost_per_leaf = 0.0;  // paper's amortized node accesses
   double wall_ms = 0.0;
   uint64_t splits = 0;
-  uint64_t nodes_allocated = 0;  // fresh arena allocations
+  uint64_t relabel_passes = 0;     // plan/apply: one per batch op
+  uint64_t escalations = 0;        // levels folded by the planner
+  uint64_t coalesced_regions = 0;  // regions that absorbed >= 1 level
+  uint64_t nodes_allocated = 0;    // fresh arena allocations
   uint64_t nodes_reused = 0;
   uint64_t nodes_released = 0;
   uint64_t heap_allocs = 0;  // actual system allocations (arena chunks)
@@ -76,6 +79,9 @@ BatchRunResult RunBatched(const Params& params, uint64_t initial,
   const LTreeStats& st = tree->stats();
   out.cost_per_leaf = st.AmortizedCostPerInsert();
   out.splits = st.splits + st.root_splits;
+  out.relabel_passes = st.relabel_passes;
+  out.escalations = st.escalations;
+  out.coalesced_regions = st.coalesced_regions;
   out.nodes_allocated = st.nodes_allocated;
   out.nodes_reused = st.nodes_reused;
   out.nodes_released = st.nodes_released;
@@ -102,9 +108,9 @@ int main(int argc, char** argv) {
   std::printf("params f=%u s=%u, initial n=%llu, %llu leaves inserted total\n\n",
               params.f, params.s, (unsigned long long)initial,
               (unsigned long long)total);
-  std::printf("%8s %12s %14s %8s %9s %12s %14s %7s %13s\n", "k", "bound(4.1)",
-              "measured/leaf", "vs k=1", "wall_ms", "allocs/leaf",
-              "requests/leaf", "reuse%", "mallocs/leaf");
+  std::printf("%8s %12s %14s %9s %8s %9s %12s %7s %13s\n", "k", "bound(4.1)",
+              "measured/leaf", "vs bound", "vs k=1", "wall_ms",
+              "allocs/leaf", "reuse%", "mallocs/leaf");
 
   bench::JsonWriter json("batch_insert");
   json.Field("f", uint64_t{params.f})
@@ -130,30 +136,39 @@ int main(int argc, char** argv) {
                   static_cast<double>(r.AllocRequests());
     const double mallocs_per_leaf =
         static_cast<double>(r.heap_allocs) / static_cast<double>(total);
+    // The Section 4.1 amortization claim, made visible: measured amortized
+    // cost next to the model's batch(f,s,n,k) prediction. < 1.0 means the
+    // implementation beats the bound.
+    const double bound_ratio = bound > 0.0 ? r.cost_per_leaf / bound : 0.0;
     std::printf(
-        "%8llu %12.1f %14.2f %7.2fx %9.2f %12.3f %14.3f %6.1f%% %13.4f\n",
-        (unsigned long long)k, bound, r.cost_per_leaf,
-        k1_cost / r.cost_per_leaf, r.wall_ms, allocs_per_leaf,
-        requests_per_leaf, reuse_pct, mallocs_per_leaf);
+        "%8llu %12.1f %14.2f %9.3f %7.2fx %9.2f %12.3f %6.1f%% %13.4f\n",
+        (unsigned long long)k, bound, r.cost_per_leaf, bound_ratio,
+        k1_cost / r.cost_per_leaf, r.wall_ms, allocs_per_leaf, reuse_pct,
+        mallocs_per_leaf);
     json.BeginRecord()
         .Field("k", k)
         .Field("bound", bound)
         .Field("cost_per_leaf", r.cost_per_leaf)
+        .Field("cost_vs_bound", bound_ratio)
         .Field("wall_ms", r.wall_ms)
         .Field("allocs_per_leaf", allocs_per_leaf)
         .Field("alloc_requests_per_leaf", requests_per_leaf)
         .Field("reuse_pct", reuse_pct)
         .Field("mallocs_per_leaf", mallocs_per_leaf)
-        .Field("splits", r.splits);
+        .Field("splits", r.splits)
+        .Field("relabel_passes", r.relabel_passes)
+        .Field("escalations", r.escalations)
+        .Field("coalesced_regions", r.coalesced_regions);
   }
   std::printf(
       "\nExpected: the measured column decreases as k grows, tracking the "
       "bound's\nshape — each 4x in k removes roughly a constant amount, the "
-      "logarithmic\ndecrease the paper derives. requests/leaf is what the "
-      "pre-arena code\nallocated per insert (one `new` each); allocs/leaf is "
-      "the node-slot growth\nthat remains after free-list recycling; "
-      "mallocs/leaf is actual system\nallocations — arena chunks of 256 nodes "
-      "— so the allocator leaves the hot\npath entirely.\n\n");
+      "logarithmic\ndecrease the paper derives — and vs bound stays < 1: "
+      "the paper's\nbatch(f,s,n,k) amortized bound is the invariant the "
+      "plan/apply pipeline\nis tested against. allocs/leaf is the node-slot "
+      "growth that remains after\nfree-list recycling; mallocs/leaf is "
+      "actual system allocations — arena\nchunks of 256 nodes — so the "
+      "allocator leaves the hot path entirely.\n\n");
   json.WriteFile(json_path);
   return 0;
 }

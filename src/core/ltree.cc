@@ -182,15 +182,81 @@ Status LTree::EnsureCapacityFor(uint64_t k) const {
       static_cast<unsigned long long>(l_new), params_.ToString().c_str()));
 }
 
-Status LTree::InsertAt(Node* parent, uint32_t idx,
-                       std::span<const LeafCookie> cookies,
-                       std::vector<LeafHandle>* handles, bool is_batch) {
-  const uint64_t k = cookies.size();
-  if (k == 0) return Status::OK();
+namespace {
+
+/// Non-tombstoned leaves under `t` (the purge projection of the planner).
+uint64_t LiveLeavesUnder(const Node* t) {
+  if (t->IsLeaf()) return t->deleted ? 0 : 1;
+  uint64_t live = 0;
+  for (const Node* c : t->children) live += LiveLeavesUnder(c);
+  return live;
+}
+
+}  // namespace
+
+Status LTree::PlanInsertAt(Node* parent, uint32_t idx, uint64_t k,
+                           BatchPlan* out) const {
   LTREE_CHECK(parent != nullptr);
   LTREE_CHECK(parent->height == 1);
   LTREE_CHECK(idx <= parent->children.size());
+  BatchPlan& plan = *out;
+  plan = BatchPlan();
+  plan.parent = parent;
+  plan.insert_index = idx;
+  plan.batch_size = k;
+  if (k == 0) return Status::OK();
   LTREE_RETURN_IF_ERROR(EnsureCapacityFor(k));
+
+  // Algorithm 1 walk: the highest ancestor whose subtree would exceed its
+  // leaf budget after the splice.
+  Node* v = nullptr;
+  for (Node* t = parent; t != nullptr; t = t->parent) {
+    if (t->leaf_count + k >= powers_.LeafBudget(t->height)) v = t;
+  }
+  if (v == nullptr) return Status::OK();
+  plan.needs_rebuild = true;
+
+  // Escalation-aware coalescing: replacing the violator by m pieces can
+  // momentarily overflow its parent's fanout (batches only; Proposition 3
+  // rules it out for single leaves). Fold every such level into the region
+  // now, so the apply phase rebuilds and relabels it exactly once instead
+  // of once per level.
+  while (v != root_) {
+    const uint64_t leaves_after =
+        (params_.purge_tombstones_on_split ? LiveLeavesUnder(v)
+                                           : v->leaf_count) +
+        k;
+    const uint64_t m = CeilDiv(leaves_after, powers_.PowD(v->height));
+    if (v->parent->children.size() - 1 + m <=
+        static_cast<uint64_t>(params_.f) + 1) {
+      plan.region = v;
+      plan.region_leaves = leaves_after;
+      plan.region_pieces = m;
+      return Status::OK();
+    }
+    ++plan.levels_coalesced;
+    v = v->parent;
+  }
+  plan.rebuild_root = true;
+  return Status::OK();
+}
+
+Status LTree::InsertAt(Node* parent, uint32_t idx,
+                       std::span<const LeafCookie> cookies,
+                       std::vector<LeafHandle>* handles, bool is_batch) {
+  BatchPlan plan;
+  LTREE_RETURN_IF_ERROR(PlanInsertAt(parent, idx, cookies.size(), &plan));
+  return ApplyPlan(plan, cookies, handles, is_batch);
+}
+
+Status LTree::ApplyPlan(const BatchPlan& plan,
+                        std::span<const LeafCookie> cookies,
+                        std::vector<LeafHandle>* handles, bool is_batch) {
+  const uint64_t k = cookies.size();
+  LTREE_CHECK(k == plan.batch_size);
+  if (k == 0) return Status::OK();
+  Node* parent = plan.parent;
+  const uint32_t idx = plan.insert_index;
 
   std::vector<Node*>& fresh = fresh_scratch_;
   fresh.clear();
@@ -215,22 +281,25 @@ Status LTree::InsertAt(Node* parent, uint32_t idx,
                           fresh.end());
   FixIndicesFrom(parent, idx);
 
-  // Walk up: bump l(t) for every ancestor and remember the *highest* node
-  // whose subtree now exceeds its leaf budget (Algorithm 1, lines 4-10).
-  Node* v = nullptr;
+  // Bump l(t) for every ancestor (Algorithm 1, lines 4-10; the rebuild
+  // decision was already made by the planner).
   for (Node* t = parent; t != nullptr; t = t->parent) {
     t->leaf_count += k;
     ++stats_.ancestor_updates;
-    if (t->leaf_count >= powers_.LeafBudget(t->height)) v = t;
   }
   live_leaves_ += k;
 
-  if (v == nullptr) {
-    // No split: relabel the new leaves and their right siblings
-    // (Algorithm 1, lines 12-13). Costs at most f node accesses.
+  if (!plan.needs_rebuild) {
+    // No split: relabel the new leaves and their right siblings in one
+    // pass (Algorithm 1, lines 12-13). Costs at most f node accesses.
     Relabel(parent, parent->num, idx, /*count_stats=*/true);
+    ++stats_.relabel_passes;
+  } else if (plan.rebuild_root) {
+    stats_.escalations += plan.levels_coalesced;
+    if (plan.levels_coalesced > 0) ++stats_.coalesced_regions;
+    RebuildRoot();
   } else {
-    RebuildAt(v);
+    RebuildRegion(plan);
   }
 
   if (is_batch) {
@@ -251,60 +320,51 @@ Status LTree::InsertAt(Node* parent, uint32_t idx,
   return Status::OK();
 }
 
-void LTree::RebuildAt(Node* v) {
-  for (;;) {
-    LTREE_CHECK(v != nullptr);
-    if (v == root_) {
-      RebuildRoot();
-      return;
-    }
-    Node* p = v->parent;
-    const uint32_t j = v->index_in_parent;
-    const uint32_t h = v->height;
+void LTree::RebuildRegion(const BatchPlan& plan) {
+  Node* v = plan.region;
+  LTREE_CHECK(v != nullptr && v != root_);
+  Node* p = v->parent;
+  const uint32_t j = v->index_in_parent;
+  const uint32_t h = v->height;
 
-    std::vector<Node*>& leaves = leaf_scratch_;
-    leaves.clear();
-    CollectLeaves(v, &leaves);
-    // Release the internal skeleton before purging: MaybePurge recycles
-    // tombstoned leaves, and the internal nodes' children vectors would
-    // still point at them during the recursive walk. BuildPieces below
-    // re-allocates a same-shape skeleton, so it is served almost entirely
-    // from the free list these releases just filled.
-    ReleaseInternalNodes(v);
-    const uint64_t purged = MaybePurge(&leaves);
+  std::vector<Node*>& leaves = leaf_scratch_;
+  leaves.clear();
+  CollectLeaves(v, &leaves);
+  // Release the internal skeleton before purging: MaybePurge recycles
+  // tombstoned leaves, and the internal nodes' children vectors would
+  // still point at them during the recursive walk. BuildPieces below
+  // re-allocates a same-shape skeleton, so it is served almost entirely
+  // from the free list these releases just filled.
+  ReleaseInternalNodes(v);
+  const uint64_t purged = MaybePurge(&leaves);
+  LTREE_CHECK(leaves.size() == plan.region_leaves);
 
-    // Section 2.3: replace v with s complete (f/s)-ary subtrees over the
-    // same leaf sequence. (For the exact single-insert trigger
-    // l(v) = s*d^h this is precisely s pieces of d^h leaves each; batches
-    // may need more pieces.)
-    const uint64_t m = CeilDiv(leaves.size(), powers_.PowD(h));
-    std::vector<Node*>& pieces = piece_scratch_;
-    BuildPieces(std::span<Node*>(leaves), m, h, &pieces);
+  // Section 2.3: replace v with m complete (f/s)-ary subtrees over the
+  // same leaf sequence. (For the exact single-insert trigger
+  // l(v) = s*d^h this is precisely s pieces of d^h leaves each; batches
+  // may need more pieces.) The planner already guaranteed the m pieces fit
+  // the parent's fanout, so no escalation can happen here.
+  const uint64_t m = plan.region_pieces;
+  std::vector<Node*>& pieces = piece_scratch_;
+  BuildPieces(std::span<Node*>(leaves), m, h, &pieces);
 
-    auto& siblings = p->children;
-    siblings.erase(siblings.begin() + j);
-    siblings.insert(siblings.begin() + j, pieces.begin(), pieces.end());
-    for (Node* piece : pieces) piece->parent = p;
-    FixIndicesFrom(p, j);
-    if (purged > 0) {
-      for (Node* t = p; t != nullptr; t = t->parent) t->leaf_count -= purged;
-    }
-    ++stats_.splits;
-
-    // Batch insertions can momentarily push the parent past the fanout the
-    // (f+1)-ary label space supports; escalate the rebuild one level up.
-    // Single-leaf insertions never take this path (Proposition 3).
-    if (siblings.size() > static_cast<size_t>(params_.f) + 1) {
-      ++stats_.escalations;
-      v = p;
-      continue;
-    }
-
-    // Algorithm 1, line 23: relabel the replacement subtrees and v's right
-    // siblings.
-    Relabel(p, p->num, j, /*count_stats=*/true);
-    return;
+  auto& siblings = p->children;
+  siblings.erase(siblings.begin() + j);
+  siblings.insert(siblings.begin() + j, pieces.begin(), pieces.end());
+  for (Node* piece : pieces) piece->parent = p;
+  FixIndicesFrom(p, j);
+  if (purged > 0) {
+    for (Node* t = p; t != nullptr; t = t->parent) t->leaf_count -= purged;
   }
+  LTREE_CHECK(siblings.size() <= static_cast<size_t>(params_.f) + 1);
+  ++stats_.splits;
+  stats_.escalations += plan.levels_coalesced;
+  if (plan.levels_coalesced > 0) ++stats_.coalesced_regions;
+
+  // Algorithm 1, line 23: relabel the replacement subtrees and v's right
+  // siblings — one pass for the whole coalesced region.
+  Relabel(p, p->num, j, /*count_stats=*/true);
+  ++stats_.relabel_passes;
 }
 
 void LTree::RebuildRoot() {
@@ -349,6 +409,7 @@ void LTree::RebuildRoot() {
   root_ = new_root;
   ++stats_.root_splits;
   Relabel(root_, 0, 0, /*count_stats=*/true);
+  ++stats_.relabel_passes;
 }
 
 uint64_t LTree::MaybePurge(std::vector<Node*>* leaves) {
@@ -449,6 +510,24 @@ Result<LTree::LeafHandle> LTree::PushFront(LeafCookie cookie) {
   Node* first = LeftmostLeaf(root_);
   if (first == nullptr) return PushBack(cookie);
   return InsertBefore(first, cookie);
+}
+
+Result<BatchPlan> LTree::PlanBatchAfter(LeafHandle pos, uint64_t k) const {
+  LTREE_CHECK(pos != nullptr);
+  LTREE_CHECK(pos->IsLeaf());
+  BatchPlan plan;
+  LTREE_RETURN_IF_ERROR(
+      PlanInsertAt(pos->parent, pos->index_in_parent + 1, k, &plan));
+  return plan;
+}
+
+Result<BatchPlan> LTree::PlanBatchBefore(LeafHandle pos, uint64_t k) const {
+  LTREE_CHECK(pos != nullptr);
+  LTREE_CHECK(pos->IsLeaf());
+  BatchPlan plan;
+  LTREE_RETURN_IF_ERROR(
+      PlanInsertAt(pos->parent, pos->index_in_parent, k, &plan));
+  return plan;
 }
 
 Status LTree::InsertBatchAfter(LeafHandle pos,

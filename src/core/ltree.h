@@ -29,6 +29,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "core/batch_plan.h"
 #include "core/ltree_stats.h"
 #include "core/node.h"
 #include "core/node_arena.h"
@@ -87,6 +88,15 @@ class LTree {
   /// Appends a batch at the end (works on an empty tree).
   Status PushBackBatch(std::span<const LeafCookie> cookies,
                        std::vector<LeafHandle>* handles = nullptr);
+
+  /// Planning phase of the batch pipeline, exposed for tests and benches:
+  /// projects the effect of splicing `k` leaves after/before `pos` without
+  /// mutating the tree — the highest budget violator with the whole
+  /// escalation chain coalesced into one rebuild region. Fails with
+  /// CapacityExceeded exactly when the insert itself would. The plan is
+  /// invalidated by any mutation.
+  Result<BatchPlan> PlanBatchAfter(LeafHandle pos, uint64_t k) const;
+  Result<BatchPlan> PlanBatchBefore(LeafHandle pos, uint64_t k) const;
 
   /// Tombstones a leaf (Section 2.3): the label slot stays occupied, no
   /// relabeling happens. Fails with FailedPrecondition if already deleted.
@@ -176,19 +186,31 @@ class LTree {
  private:
   explicit LTree(const Params& params, PowerTable powers);
 
-  /// Inserts `cookies` as children of `parent` (height-1 node) starting at
-  /// child index `idx`, then runs the Algorithm 1 maintenance loop.
+  /// Plan + apply: inserts `cookies` as children of `parent` (height-1
+  /// node) starting at child index `idx`.
   Status InsertAt(Node* parent, uint32_t idx,
                   std::span<const LeafCookie> cookies,
                   std::vector<LeafHandle>* handles, bool is_batch);
+
+  /// Planning phase (Algorithm 1 walk + escalation coalescing); mutates
+  /// nothing. `idx` is unused by the decision but recorded in the plan.
+  /// Out-param form so the per-insert hot path pays no Result packaging.
+  Status PlanInsertAt(Node* parent, uint32_t idx, uint64_t k,
+                      BatchPlan* plan) const;
+
+  /// Apply phase: splices the fresh leaves per `plan`, then rebuilds and
+  /// relabels the planned region exactly once.
+  Status ApplyPlan(const BatchPlan& plan, std::span<const LeafCookie> cookies,
+                   std::vector<LeafHandle>* handles, bool is_batch);
 
   /// Fails with CapacityExceeded if adding `k` leaves could require a root
   /// rebuild beyond the 64-bit label space.
   Status EnsureCapacityFor(uint64_t k) const;
 
-  /// Splits/rebuilds the subtree at violator `v` (Section 2.3); handles
-  /// root growth and fanout-overflow escalation for batches.
-  void RebuildAt(Node* v);
+  /// Rebuilds plan.region into plan.region_pieces complete (f/s)-ary
+  /// subtrees and relabels the parent suffix in a single pass (Section 2.3;
+  /// the coalesced form of the paper's split).
+  void RebuildRegion(const BatchPlan& plan);
 
   /// Rebuilds the root, growing the height (root split of Algorithm 1).
   void RebuildRoot();

@@ -7,7 +7,8 @@ namespace ltree {
 std::string LTreeStats::ToString() const {
   return StrFormat(
       "LTreeStats{inserts=%llu batch_leaves=%llu deletes=%llu splits=%llu "
-      "root_splits=%llu escalations=%llu ancestor_updates=%llu "
+      "root_splits=%llu escalations=%llu relabel_passes=%llu "
+      "coalesced_regions=%llu ancestor_updates=%llu "
       "nodes_relabeled=%llu leaves_relabeled=%llu purged=%llu "
       "nodes_allocated=%llu nodes_reused=%llu nodes_released=%llu "
       "amortized_cost=%.3f}",
@@ -17,6 +18,8 @@ std::string LTreeStats::ToString() const {
       static_cast<unsigned long long>(splits),
       static_cast<unsigned long long>(root_splits),
       static_cast<unsigned long long>(escalations),
+      static_cast<unsigned long long>(relabel_passes),
+      static_cast<unsigned long long>(coalesced_regions),
       static_cast<unsigned long long>(ancestor_updates),
       static_cast<unsigned long long>(nodes_relabeled),
       static_cast<unsigned long long>(leaves_relabeled),

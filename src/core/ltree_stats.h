@@ -19,10 +19,21 @@ struct LTreeStats {
   uint64_t bulk_loads = 0;
 
   // ---- structural events ----
-  uint64_t splits = 0;            ///< non-root subtree rebuilds
+  uint64_t splits = 0;            ///< non-root region rebuilds (one per
+                                  ///< coalesced region, not per level)
   uint64_t root_splits = 0;       ///< height-increasing rebuilds
-  uint64_t escalations = 0;       ///< fanout-overflow escalations (batch only)
+  uint64_t escalations = 0;       ///< fanout-overflow levels folded into a
+                                  ///< region by the planner (batch only)
   uint64_t tombstones_purged = 0;
+
+  // ---- plan/apply pipeline ----
+  /// Relabel passes run by the mutation path: exactly one per operation —
+  /// the no-split sibling relabel, or the single pass over the coalesced
+  /// rebuilt region (bulk loads don't count).
+  uint64_t relabel_passes = 0;
+  /// Rebuilt regions that absorbed at least one escalation level, i.e.
+  /// regions the planner coalesced beyond the original budget violator.
+  uint64_t coalesced_regions = 0;
 
   // ---- allocator traffic (NodeArena; not part of the paper's cost) ----
   /// Fresh arena allocations (real heap growth) since the last reset.

@@ -16,8 +16,10 @@
 // Element updates:
 //   * InsertElement        — single new element (two leaf insertions);
 //   * InsertFragment*      — a parsed subtree, inserted as one leaf batch
-//     (the Section 4.1 bulk insertion — one rebalance on schemes with a
-//     native batch path);
+//     (the Section 4.1 bulk insertion — on schemes with a native batch
+//     path this rides the plan/apply pipeline: one coalesced rebuild
+//     region, one relabel pass, surfaced as MaintStats::relabel_passes /
+//     coalesced_regions);
 //   * DeleteSubtree        — erases the leaves (tombstones on the L-Tree
 //     variants, physical unlink on the baselines; see order_maintainer.h)
 //     and drops the rows.

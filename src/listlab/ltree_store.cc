@@ -142,6 +142,8 @@ const MaintStats& LTreeStore::stats() const {
   stats_.batch_inserts = ts.batch_inserts;
   stats_.items_relabeled = ts.leaves_relabeled;
   stats_.rebalances = ts.splits + ts.root_splits;
+  stats_.relabel_passes = ts.relabel_passes;
+  stats_.coalesced_regions = ts.coalesced_regions;
   stats_.nodes_allocated = ts.nodes_allocated;
   stats_.nodes_reused = ts.nodes_reused;
   stats_.nodes_released = ts.nodes_released;
@@ -321,6 +323,8 @@ const MaintStats& VirtualLTreeStore::stats() const {
   stats_.batch_inserts = ts.batch_inserts;
   stats_.items_relabeled = ts.labels_rewritten;
   stats_.rebalances = ts.splits + ts.root_splits;
+  stats_.relabel_passes = ts.relabel_passes;
+  stats_.coalesced_regions = ts.coalesced_regions;
   stats_.nodes_allocated = ts.nodes_allocated;
   stats_.nodes_reused = ts.nodes_reused;
   stats_.nodes_released = ts.nodes_released;

@@ -89,6 +89,16 @@ struct MaintStats {
   /// redistributions for Bender, full renumberings for Gap/Sequential).
   uint64_t rebalances = 0;
 
+  // ---- plan/apply pipeline (L-Tree schemes; zero elsewhere) ----
+  /// Label-rewrite passes run by the mutation path: the L-Tree variants
+  /// guarantee exactly one pass per insert/batch — the no-split sibling
+  /// relabel or the single pass over the coalesced rebuilt region.
+  uint64_t relabel_passes = 0;
+  /// Rebuilt regions that absorbed at least one fanout-overflow escalation
+  /// (batch insertions only; the planner folds the whole chain into one
+  /// region instead of rebuilding level by level).
+  uint64_t coalesced_regions = 0;
+
   // ---- allocator traffic ----
   // Filled by schemes with pooled node storage (the materialized L-Tree's
   // NodeArena); zero for schemes without one. Windowed by ResetStats like

@@ -62,6 +62,12 @@ Label MinKey(const Node* n) {
   return n->keys.front();
 }
 
+/// Largest key in the subtree.
+Label MaxKey(const Node* n) {
+  while (!n->leaf) n = n->children.back();
+  return n->keys.back();
+}
+
 /// Child index to descend into for `key`.
 uint32_t ChildIndex(const Node* n, Label key) {
   return static_cast<uint32_t>(
@@ -565,6 +571,99 @@ std::vector<Entry> CountedBTree::ScanAll() const {
 // Bulk operations
 // --------------------------------------------------------------------------
 
+namespace {
+
+/// Length of the next ~3/4-fill chunk of a run with `remaining` items left
+/// (leaving slack for inserts). Absorbs a small tail into the current chunk
+/// if it fits, otherwise splits the combined run evenly, so no chunk ever
+/// lands under order/2.
+size_t ChunkLen(size_t remaining, uint32_t order) {
+  const size_t target = std::max<size_t>(order * 3 / 4, order / 2);
+  size_t len = std::min(target, remaining);
+  const size_t rest = remaining - len;
+  if (rest > 0 && rest < order / 2) {
+    len = (len + rest <= order) ? len + rest : (len + rest) / 2;
+  }
+  return len;
+}
+
+/// How many chunks ChunkLen splits `total` into. Pure arithmetic, so
+/// ReplaceRange can dry-run a rebuild before allocating anything.
+size_t CountChunks(size_t total, uint32_t order) {
+  size_t chunks = 0;
+  while (total > 0) {
+    total -= ChunkLen(total, order);
+    ++chunks;
+  }
+  return chunks;
+}
+
+/// Builds the leaf level over `entries` (appended to `level`).
+void BuildLeafLevel(std::span<const Entry> entries, uint32_t order,
+                    BTreeNodeArena* arena, std::vector<Node*>* level) {
+  size_t i = 0;
+  while (i < entries.size()) {
+    const size_t len = ChunkLen(entries.size() - i, order);
+    Node* leaf = arena->Allocate();
+    leaf->leaf = true;
+    leaf->keys.reserve(len);
+    leaf->values.reserve(len);
+    for (size_t j = i; j < i + len; ++j) {
+      leaf->keys.push_back(entries[j].key);
+      leaf->values.push_back(entries[j].value);
+    }
+    leaf->count = len;
+    level->push_back(leaf);
+    i += len;
+  }
+}
+
+/// Stacks one internal level over `level`, replacing it.
+void StackLevel(std::vector<Node*>* level, uint32_t order,
+                BTreeNodeArena* arena) {
+  std::vector<Node*> next;
+  next.reserve(CountChunks(level->size(), order));
+  size_t j = 0;
+  while (j < level->size()) {
+    const size_t len = ChunkLen(level->size() - j, order);
+    Node* node = arena->Allocate();
+    node->leaf = false;
+    node->children.reserve(len);
+    node->keys.reserve(len - 1);
+    for (size_t k = j; k < j + len; ++k) {
+      node->children.push_back((*level)[k]);
+      node->count += (*level)[k]->count;
+      if (k > j) node->keys.push_back(MinKey((*level)[k]));
+    }
+    next.push_back(node);
+    j += len;
+  }
+  *level = std::move(next);
+}
+
+/// Appends the subtree's entries in key order.
+void CollectEntries(const Node* n, std::vector<Entry>* out) {
+  if (n->leaf) {
+    for (size_t i = 0; i < n->keys.size(); ++i) {
+      out->push_back(Entry{n->keys[i], n->values[i]});
+    }
+    return;
+  }
+  for (const Node* c : n->children) CollectEntries(c, out);
+}
+
+/// Edges from `n` down to the leaf level.
+uint32_t SubtreeHeight(const Node* n) {
+  uint32_t h = 0;
+  while (!n->leaf) {
+    ++h;
+    n = n->children.front();
+  }
+  return h;
+}
+
+}  // namespace
+
 Status CountedBTree::BulkBuild(std::span<const Entry> entries) {
   for (size_t i = 1; i < entries.size(); ++i) {
     if (entries[i - 1].key >= entries[i].key) {
@@ -574,68 +673,16 @@ Status CountedBTree::BulkBuild(std::span<const Entry> entries) {
   Clear();
   if (entries.empty()) return Status::OK();
   EnsureArena();
-
-  // Build the leaf level at ~3/4 fill (leaving slack for inserts), then
-  // stack internal levels on top.
-  const size_t target = std::max<size_t>(order_ * 3 / 4, order_ / 2);
   std::vector<Node*> level;
-  size_t i = 0;
-  while (i < entries.size()) {
-    size_t len = std::min(target, entries.size() - i);
-    // Avoid an underfull final leaf: absorb a small tail into this chunk if
-    // it fits, otherwise split the combined run evenly (each half is then
-    // >= order/2 because the run exceeds order).
-    const size_t remaining = entries.size() - i - len;
-    if (remaining > 0 && remaining < order_ / 2) {
-      if (len + remaining <= order_) {
-        len += remaining;
-      } else {
-        len = (len + remaining) / 2;
-      }
-    }
-    Node* leaf = arena_->Allocate();
-    leaf->leaf = true;
-    for (size_t j = i; j < i + len; ++j) {
-      leaf->keys.push_back(entries[j].key);
-      leaf->values.push_back(entries[j].value);
-    }
-    leaf->count = leaf->keys.size();
-    level.push_back(leaf);
-    i += len;
-  }
-
-  while (level.size() > 1) {
-    std::vector<Node*> next;
-    size_t j = 0;
-    while (j < level.size()) {
-      size_t len = std::min(target, level.size() - j);
-      const size_t remaining = level.size() - j - len;
-      if (remaining > 0 && remaining < order_ / 2) {
-        if (len + remaining <= order_) {
-          len += remaining;
-        } else {
-          len = (len + remaining) / 2;
-        }
-      }
-      Node* node = arena_->Allocate();
-      node->leaf = false;
-      for (size_t k = j; k < j + len; ++k) {
-        node->children.push_back(level[k]);
-        node->count += level[k]->count;
-        if (k > j) node->keys.push_back(MinKey(level[k]));
-      }
-      next.push_back(node);
-      j += len;
-    }
-    level = std::move(next);
-  }
+  BuildLeafLevel(entries, order_, arena_.get(), &level);
+  while (level.size() > 1) StackLevel(&level, order_, arena_.get());
   root_ = level.front();
   return Status::OK();
 }
 
 Status CountedBTree::ReplaceRange(Label lo, Label hi,
                                   std::span<const Entry> entries) {
-  if (lo >= hi) return Status::InvalidArgument("empty range");
+  if (lo > hi) return Status::InvalidArgument("lo > hi");
   for (size_t i = 0; i < entries.size(); ++i) {
     if (entries[i].key < lo || entries[i].key >= hi) {
       return Status::InvalidArgument("replacement key outside [lo, hi)");
@@ -644,19 +691,194 @@ Status CountedBTree::ReplaceRange(Label lo, Label hi,
       return Status::InvalidArgument("entries must be sorted and unique");
     }
   }
-  // Remove the old keys, then insert the new ones. Both touch O(k) entries
-  // at O(log n) each, matching the Section 4.2 trade-off discussion.
-  std::vector<Label> victims;
-  for (Iterator it = Seek(lo); it.Valid() && it.key() < hi; it.Next()) {
-    victims.push_back(it.key());
+  // lo == hi is an empty range: entries cannot lie inside it (rejected
+  // above), so the call is a no-op.
+  if (lo == hi) return Status::OK();
+  if (root_ == nullptr) {
+    return entries.empty() ? Status::OK() : BulkBuild(entries);
   }
-  for (Label k : victims) {
-    LTREE_RETURN_IF_ERROR(Delete(k));
+  // Whole-tree replacement (e.g. every virtual L-Tree root split) skips
+  // the descent entirely: all current entries are erased, so the result is
+  // exactly `entries`.
+  if (lo <= MinKey(root_) && MaxKey(root_) < hi) return BulkBuild(entries);
+
+  // Single structural pass: descend once to the lowest node whose child
+  // slice covers the whole range, splice the sorted replacements into that
+  // slice's entry run, rebuild the slice in place, and repair counts and
+  // separators bottom-up along the recorded path. Escalates the slice one
+  // level up whenever the rebuilt piece cannot meet min occupancy at its
+  // level; the worst case (a range reshaping most of the tree) degenerates
+  // to a full BulkBuild, which is proportional to the replaced region
+  // anyway.
+  struct Frame {
+    Node* node;
+    uint32_t index;
+  };
+  std::vector<Frame> path;
+  Node* a = root_;
+  uint32_t cl = 0;
+  uint32_t cr = 0;
+  while (!a->leaf) {
+    cl = ChildIndex(a, lo);
+    cr = ChildIndex(a, hi - 1);
+    if (cl != cr) break;
+    path.push_back({a, cl});
+    a = a->children[cl];
   }
-  for (const Entry& e : entries) {
-    LTREE_RETURN_IF_ERROR(Insert(e.key, e.value));
+
+  const size_t min_fill = order_ / 2;
+
+  // Bottom-up repair: ancestor counts shift by `delta`, and the descended
+  // child's min key may have changed, staling the separator to its left.
+  auto repair_path = [&](int64_t delta) {
+    for (size_t i = path.size(); i-- > 0;) {
+      Node* n = path[i].node;
+      n->count = static_cast<uint64_t>(static_cast<int64_t>(n->count) + delta);
+      const uint32_t ci = path[i].index;
+      if (ci > 0) n->keys[ci - 1] = MinKey(n->children[ci]);
+    }
+  };
+
+  // Fallback: splice into the full entry run and rebuild from scratch
+  // (BulkBuild recycles the old nodes through the arena).
+  auto full_rebuild = [&]() -> Status {
+    std::vector<Entry> all;
+    all.reserve(root_->count + entries.size());
+    CollectEntries(root_, &all);
+    const auto key_less = [](const Entry& e, Label key) { return e.key < key; };
+    auto eb = std::lower_bound(all.begin(), all.end(), lo, key_less);
+    auto ee = std::lower_bound(all.begin(), all.end(), hi, key_less);
+    std::vector<Entry> spliced;
+    spliced.reserve(all.size() - (ee - eb) + entries.size());
+    spliced.insert(spliced.end(), all.begin(), eb);
+    spliced.insert(spliced.end(), entries.begin(), entries.end());
+    spliced.insert(spliced.end(), ee, all.end());
+    return BulkBuild(spliced);
+  };
+
+  if (a->leaf) {
+    // In-leaf splice: the whole range lives in one leaf. No allocation at
+    // all when the result keeps the leaf within occupancy bounds.
+    auto kb = std::lower_bound(a->keys.begin(), a->keys.end(), lo);
+    auto ke = std::lower_bound(a->keys.begin(), a->keys.end(), hi);
+    const size_t eb = static_cast<size_t>(kb - a->keys.begin());
+    const size_t ee = static_cast<size_t>(ke - a->keys.begin());
+    const size_t new_size = a->keys.size() - (ee - eb) + entries.size();
+    if (new_size <= order_ && (path.empty() || new_size >= min_fill)) {
+      const int64_t delta = static_cast<int64_t>(new_size) -
+                            static_cast<int64_t>(a->keys.size());
+      a->keys.erase(kb, ke);
+      a->values.erase(a->values.begin() + eb, a->values.begin() + ee);
+      a->keys.insert(a->keys.begin() + eb, entries.size(), Label{0});
+      a->values.insert(a->values.begin() + eb, entries.size(), uint64_t{0});
+      for (size_t i = 0; i < entries.size(); ++i) {
+        a->keys[eb + i] = entries[i].key;
+        a->values[eb + i] = entries[i].value;
+      }
+      a->count = a->keys.size();
+      if (path.empty() && a->keys.empty()) {
+        arena_->Release(a);
+        root_ = nullptr;
+        return Status::OK();
+      }
+      repair_path(delta);
+      return Status::OK();
+    }
+    if (path.empty()) return full_rebuild();  // over/underfull root leaf
+    cl = cr = path.back().index;
+    a = path.back().node;
+    path.pop_back();
   }
-  return Status::OK();
+
+  std::vector<Entry> combined;
+  std::vector<Entry> spliced;
+  for (;;) {
+    const bool at_root = (a == root_);
+    combined.clear();
+    for (uint32_t i = cl; i <= cr; ++i) {
+      CollectEntries(a->children[i], &combined);
+    }
+    const size_t old_total = combined.size();
+    const auto key_less = [](const Entry& e, Label key) { return e.key < key; };
+    auto eb = std::lower_bound(combined.begin(), combined.end(), lo, key_less);
+    auto ee = std::lower_bound(combined.begin(), combined.end(), hi, key_less);
+    spliced.clear();
+    spliced.reserve(old_total -
+                    static_cast<size_t>(ee - eb) + entries.size());
+    spliced.insert(spliced.end(), combined.begin(), eb);
+    spliced.insert(spliced.end(), entries.begin(), entries.end());
+    spliced.insert(spliced.end(), ee, combined.end());
+
+    const uint32_t child_height = SubtreeHeight(a->children[cl]);
+
+    // Dry-run the level stacking (pure arithmetic) so a failed attempt
+    // never allocates: every level of the rebuilt slice must be able to
+    // meet min occupancy up to the slice's height.
+    bool fits = true;
+    size_t m_new = 0;
+    if (!spliced.empty()) {
+      size_t c = spliced.size();
+      if (c < min_fill) {
+        fits = false;
+      } else {
+        c = CountChunks(c, order_);
+        for (uint32_t h = 1; h <= child_height && fits; ++h) {
+          if (c < min_fill) {
+            fits = false;
+          } else {
+            c = CountChunks(c, order_);
+          }
+        }
+      }
+      m_new = c;
+    }
+    const size_t removed = static_cast<size_t>(cr - cl) + 1;
+    if (fits) {
+      const size_t new_cc = a->children.size() - removed + m_new;
+      if (new_cc > order_ || (!at_root && new_cc < min_fill)) fits = false;
+    }
+    if (!fits) {
+      if (at_root) return full_rebuild();
+      cl = cr = path.back().index;
+      a = path.back().node;
+      path.pop_back();
+      continue;
+    }
+
+    // Commit: recycle the old slice first (its entries already live in
+    // `spliced`) so the rebuild below is served from the free list, then
+    // build the replacement and splice it over children [cl, cr].
+    for (uint32_t i = cl; i <= cr; ++i) {
+      ReleaseTree(arena_.get(), a->children[i]);
+    }
+    std::vector<Node*> level;
+    if (!spliced.empty()) {
+      BuildLeafLevel(spliced, order_, arena_.get(), &level);
+      for (uint32_t h = 1; h <= child_height; ++h) {
+        StackLevel(&level, order_, arena_.get());
+      }
+    }
+    a->children.erase(a->children.begin() + cl,
+                      a->children.begin() + cr + 1);
+    a->children.insert(a->children.begin() + cl, level.begin(), level.end());
+    a->keys.clear();
+    for (size_t i = 1; i < a->children.size(); ++i) {
+      a->keys.push_back(MinKey(a->children[i]));
+    }
+    const int64_t delta =
+        static_cast<int64_t>(spliced.size()) - static_cast<int64_t>(old_total);
+    a->count = static_cast<uint64_t>(static_cast<int64_t>(a->count) + delta);
+    repair_path(delta);
+    // An internal root may be left with one child (collapse) or none
+    // (empty tree).
+    while (root_ != nullptr && !root_->leaf && root_->children.size() <= 1) {
+      Node* only =
+          root_->children.empty() ? nullptr : root_->children.front();
+      arena_->Release(root_);  // recycles the husk; `only` lives on
+      root_ = only;
+    }
+    return Status::OK();
+  }
 }
 
 // --------------------------------------------------------------------------

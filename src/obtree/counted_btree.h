@@ -65,7 +65,12 @@ class CountedBTree {
 
   /// Replaces all entries with keys in [lo, hi) by `entries` (which must be
   /// sorted by key, unique, and lie within [lo, hi)). This is the virtual
-  /// L-Tree's bulk relabel primitive.
+  /// L-Tree's bulk relabel primitive, implemented as one structural pass:
+  /// locate the leaf range, splice the replacement run in place, repair
+  /// occupancy/counts/separators bottom-up once (instead of k deletes plus
+  /// k inserts at O(log n) each). `lo == hi` is a no-op; an empty `entries`
+  /// span is a pure range erase; replacing the whole key range degenerates
+  /// to a pool-recycled BulkBuild.
   Status ReplaceRange(Label lo, Label hi, std::span<const Entry> entries);
 
   /// Rebuilds the tree from sorted unique entries (replacing any content).

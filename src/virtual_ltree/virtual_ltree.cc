@@ -12,7 +12,8 @@ namespace ltree {
 std::string VirtualLTreeStats::ToString() const {
   return StrFormat(
       "VirtualLTreeStats{inserts=%llu batch_leaves=%llu deletes=%llu "
-      "splits=%llu root_splits=%llu escalations=%llu range_counts=%llu "
+      "splits=%llu root_splits=%llu escalations=%llu relabel_passes=%llu "
+      "coalesced_regions=%llu range_counts=%llu "
       "labels_rewritten=%llu purged=%llu nodes_allocated=%llu "
       "nodes_reused=%llu nodes_released=%llu arena_chunks=%llu}",
       static_cast<unsigned long long>(inserts),
@@ -21,6 +22,8 @@ std::string VirtualLTreeStats::ToString() const {
       static_cast<unsigned long long>(splits),
       static_cast<unsigned long long>(root_splits),
       static_cast<unsigned long long>(escalations),
+      static_cast<unsigned long long>(relabel_passes),
+      static_cast<unsigned long long>(coalesced_regions),
       static_cast<unsigned long long>(range_counts),
       static_cast<unsigned long long>(labels_rewritten),
       static_cast<unsigned long long>(tombstones_purged),
@@ -165,87 +168,41 @@ Status VirtualLTree::RebuildWithPending(uint32_t vh, Label anchor,
                                         Label insert_before_key,
                                         std::span<const obtree::Entry> pending,
                                         std::vector<Label>* fresh_labels) {
+  const uint64_t k = pending.size();
+
+  // ---- plan: coalesce the escalation chain without touching the tree ----
+  //
+  // Mirrors LTree::PlanInsertAt decision-for-decision: walk up from the
+  // violator while replacing the interval by m pieces would overflow the
+  // parent interval's fanout, projecting the post-insert (and post-purge)
+  // occupancy per level with counting-tree probes instead of building the
+  // whole candidate region once per level.
   uint32_t h = vh;
+  uint32_t levels_coalesced = 0;
+  uint64_t region_leaves = 0;
+  uint64_t region_pieces = 0;
+  bool rebuild_root = false;
   for (;;) {
     if (h >= height_) {
-      // Root split (Algorithm 1 lines 18-20): collect everything, grow the
-      // height, reassign all labels from 0.
-      std::vector<obtree::Entry> all = btree_.ScanAll();
-      const size_t r = static_cast<size_t>(
-          std::lower_bound(all.begin(), all.end(), insert_before_key,
-                           [](const obtree::Entry& e, Label key) {
-                             return e.key < key;
-                           }) -
-          all.begin());
-      std::vector<obtree::Entry> combined;
-      combined.reserve(all.size() + pending.size());
-      combined.insert(combined.end(), all.begin(), all.begin() + r);
-      for (const auto& p : pending) {
-        combined.push_back({kInvalidLabel, p.value});
-      }
-      combined.insert(combined.end(), all.begin() + r, all.end());
-      MaybePurge(&combined, {});
-
-      const uint64_t l = combined.size();
-      uint32_t new_height = 0;
-      for (uint32_t hh = height_; hh <= powers_.max_height(); ++hh) {
-        if (l < powers_.LeafBudget(hh) &&
-            CeilDiv(l, powers_.PowD(hh - 1)) <= params_.f) {
-          new_height = hh;
-          break;
-        }
-      }
-      LTREE_CHECK(new_height >= 1);  // guaranteed by EnsureCapacityFor
-
-      std::vector<Label> assigned;
-      assigned.reserve(l);
-      AssignOver(l, new_height, 0, &assigned);
-      std::vector<obtree::Entry> rebuilt;
-      rebuilt.reserve(l);
-      for (uint64_t i = 0; i < l; ++i) {
-        const obtree::Entry& old = combined[i];
-        rebuilt.push_back({assigned[i], old.value});
-        if (old.key == kInvalidLabel) {
-          if (fresh_labels != nullptr) fresh_labels->push_back(assigned[i]);
-        } else if (old.key != assigned[i]) {
-          ++stats_.labels_rewritten;
-          if (listener_ != nullptr) {
-            listener_->OnRelabel(UnpackCookie(old.value), old.key,
-                                 assigned[i]);
-          }
-        }
-      }
-      LTREE_RETURN_IF_ERROR(btree_.BulkBuild(rebuilt));
-      height_ = new_height;
-      ++stats_.root_splits;
-      return Status::OK();
+      rebuild_root = true;
+      break;
     }
-
     const Label v_base = TruncTo(anchor, h);
     const uint64_t interval = powers_.PowF1(h);
+    uint64_t l = k;
+    if (params_.purge_tombstones_on_split) {
+      // The purge projection needs the tombstone count, which only a scan
+      // of the interval can see (the counting tree counts slots).
+      for (const auto& e : btree_.Scan(v_base, v_base + interval)) {
+        if (!UnpackDeleted(e.value)) ++l;
+      }
+    } else {
+      l += btree_.RangeCount(v_base, v_base + interval);
+      ++stats_.range_counts;
+    }
+    const uint64_t m = CeilDiv(l, powers_.PowD(h));
     const Label q_base = TruncTo(anchor, h + 1);
     const uint64_t q_interval = powers_.PowF1(h + 1);
-
-    std::vector<obtree::Entry> olds = btree_.Scan(v_base, v_base + interval);
-    const size_t r = static_cast<size_t>(
-        std::lower_bound(olds.begin(), olds.end(), insert_before_key,
-                         [](const obtree::Entry& e, Label key) {
-                           return e.key < key;
-                         }) -
-        olds.begin());
-    std::vector<obtree::Entry> combined;
-    combined.reserve(olds.size() + pending.size());
-    combined.insert(combined.end(), olds.begin(), olds.begin() + r);
-    for (const auto& p : pending) {
-      combined.push_back({kInvalidLabel, p.value});
-    }
-    combined.insert(combined.end(), olds.begin() + r, olds.end());
-    MaybePurge(&combined, {});
-
-    const uint64_t l = combined.size();
-    const uint64_t m = CeilDiv(l, powers_.PowD(h));
-    const uint64_t jv = DigitAt(v_base, h);
-
     // Children of the parent interval after replacing v by m pieces.
     auto last_in_q = btree_.Predecessor(
         q_base > std::numeric_limits<Label>::max() - q_interval
@@ -253,28 +210,54 @@ Status VirtualLTree::RebuildWithPending(uint32_t vh, Label anchor,
             : q_base + q_interval);
     LTREE_CHECK(last_in_q.ok());
     const uint64_t c_before = DigitAt(last_in_q->key, h) + 1;
-    const uint64_t c_after = c_before - 1 + m;
-    if (c_after > static_cast<uint64_t>(params_.f) + 1) {
-      // Fanout overflow: escalate one level, exactly like the materialized
-      // tree (only reachable through batch insertions).
-      ++stats_.escalations;
-      ++stats_.splits;
-      h += 1;
-      continue;
+    if (c_before - 1 + m <= static_cast<uint64_t>(params_.f) + 1) {
+      region_leaves = l;
+      region_pieces = m;
+      break;
     }
+    // Fanout overflow: fold this level into the region, exactly like the
+    // materialized planner (only reachable through batch insertions).
+    ++levels_coalesced;
+    h += 1;
+  }
+  stats_.escalations += levels_coalesced;
+  if (levels_coalesced > 0) ++stats_.coalesced_regions;
 
-    // New labels: m pieces based at child indices jv .. jv+m-1 of q_base,
-    // then v's right siblings shifted up by (m-1) child slots.
-    std::vector<Label> assigned;
-    assigned.reserve(l);
-    {
-      const uint64_t seg_base = l / m;
-      const uint64_t rem = l % m;
-      for (uint64_t i = 0; i < m; ++i) {
-        const uint64_t len = seg_base + (i < rem ? 1 : 0);
-        AssignOver(len, h, q_base + (jv + i) * interval, &assigned);
+  // ---- apply: build and write back the coalesced region exactly once ----
+
+  if (rebuild_root) {
+    // Root split (Algorithm 1 lines 18-20): collect everything, grow the
+    // height, reassign all labels from 0.
+    std::vector<obtree::Entry> all = btree_.ScanAll();
+    const size_t r = static_cast<size_t>(
+        std::lower_bound(all.begin(), all.end(), insert_before_key,
+                         [](const obtree::Entry& e, Label key) {
+                           return e.key < key;
+                         }) -
+        all.begin());
+    std::vector<obtree::Entry> combined;
+    combined.reserve(all.size() + pending.size());
+    combined.insert(combined.end(), all.begin(), all.begin() + r);
+    for (const auto& p : pending) {
+      combined.push_back({kInvalidLabel, p.value});
+    }
+    combined.insert(combined.end(), all.begin() + r, all.end());
+    MaybePurge(&combined, {});
+
+    const uint64_t l = combined.size();
+    uint32_t new_height = 0;
+    for (uint32_t hh = height_; hh <= powers_.max_height(); ++hh) {
+      if (l < powers_.LeafBudget(hh) &&
+          CeilDiv(l, powers_.PowD(hh - 1)) <= params_.f) {
+        new_height = hh;
+        break;
       }
     }
+    LTREE_CHECK(new_height >= 1);  // guaranteed by EnsureCapacityFor
+
+    std::vector<Label> assigned;
+    assigned.reserve(l);
+    AssignOver(l, new_height, 0, &assigned);
     std::vector<obtree::Entry> rebuilt;
     rebuilt.reserve(l);
     for (uint64_t i = 0; i < l; ++i) {
@@ -285,29 +268,92 @@ Status VirtualLTree::RebuildWithPending(uint32_t vh, Label anchor,
       } else if (old.key != assigned[i]) {
         ++stats_.labels_rewritten;
         if (listener_ != nullptr) {
-          listener_->OnRelabel(UnpackCookie(old.value), old.key, assigned[i]);
+          listener_->OnRelabel(UnpackCookie(old.value), old.key,
+                               assigned[i]);
         }
       }
     }
-    // Right siblings of v within the parent interval shift wholesale.
-    std::vector<obtree::Entry> sibs =
-        btree_.Scan(v_base + interval, q_base + q_interval);
-    const uint64_t shift = (m - 1) * interval;
-    for (const auto& sib : sibs) {
-      rebuilt.push_back({sib.key + shift, sib.value});
-      if (shift != 0) {
-        ++stats_.labels_rewritten;
-        if (listener_ != nullptr) {
-          listener_->OnRelabel(UnpackCookie(sib.value), sib.key,
-                               sib.key + shift);
-        }
-      }
-    }
-    LTREE_RETURN_IF_ERROR(
-        btree_.ReplaceRange(v_base, q_base + q_interval, rebuilt));
-    ++stats_.splits;
+    // The root split is a whole-tree range replacement; ReplaceRange
+    // recognizes it and rebuilds through the node pool in one pass.
+    LTREE_RETURN_IF_ERROR(btree_.ReplaceRange(
+        0, std::numeric_limits<Label>::max(), rebuilt));
+    height_ = new_height;
+    ++stats_.root_splits;
+    ++stats_.relabel_passes;
     return Status::OK();
   }
+
+  const Label v_base = TruncTo(anchor, h);
+  const uint64_t interval = powers_.PowF1(h);
+  const Label q_base = TruncTo(anchor, h + 1);
+  const uint64_t q_interval = powers_.PowF1(h + 1);
+
+  std::vector<obtree::Entry> olds = btree_.Scan(v_base, v_base + interval);
+  const size_t r = static_cast<size_t>(
+      std::lower_bound(olds.begin(), olds.end(), insert_before_key,
+                       [](const obtree::Entry& e, Label key) {
+                         return e.key < key;
+                       }) -
+      olds.begin());
+  std::vector<obtree::Entry> combined;
+  combined.reserve(olds.size() + pending.size());
+  combined.insert(combined.end(), olds.begin(), olds.begin() + r);
+  for (const auto& p : pending) {
+    combined.push_back({kInvalidLabel, p.value});
+  }
+  combined.insert(combined.end(), olds.begin() + r, olds.end());
+  MaybePurge(&combined, {});
+
+  const uint64_t l = combined.size();
+  LTREE_CHECK(l == region_leaves);  // the plan's projection was exact
+  const uint64_t m = region_pieces;
+  const uint64_t jv = DigitAt(v_base, h);
+
+  // New labels: m pieces based at child indices jv .. jv+m-1 of q_base,
+  // then v's right siblings shifted up by (m-1) child slots.
+  std::vector<Label> assigned;
+  assigned.reserve(l);
+  {
+    const uint64_t seg_base = l / m;
+    const uint64_t rem = l % m;
+    for (uint64_t i = 0; i < m; ++i) {
+      const uint64_t len = seg_base + (i < rem ? 1 : 0);
+      AssignOver(len, h, q_base + (jv + i) * interval, &assigned);
+    }
+  }
+  std::vector<obtree::Entry> rebuilt;
+  rebuilt.reserve(l);
+  for (uint64_t i = 0; i < l; ++i) {
+    const obtree::Entry& old = combined[i];
+    rebuilt.push_back({assigned[i], old.value});
+    if (old.key == kInvalidLabel) {
+      if (fresh_labels != nullptr) fresh_labels->push_back(assigned[i]);
+    } else if (old.key != assigned[i]) {
+      ++stats_.labels_rewritten;
+      if (listener_ != nullptr) {
+        listener_->OnRelabel(UnpackCookie(old.value), old.key, assigned[i]);
+      }
+    }
+  }
+  // Right siblings of v within the parent interval shift wholesale.
+  std::vector<obtree::Entry> sibs =
+      btree_.Scan(v_base + interval, q_base + q_interval);
+  const uint64_t shift = (m - 1) * interval;
+  for (const auto& sib : sibs) {
+    rebuilt.push_back({sib.key + shift, sib.value});
+    if (shift != 0) {
+      ++stats_.labels_rewritten;
+      if (listener_ != nullptr) {
+        listener_->OnRelabel(UnpackCookie(sib.value), sib.key,
+                             sib.key + shift);
+      }
+    }
+  }
+  LTREE_RETURN_IF_ERROR(
+      btree_.ReplaceRange(v_base, q_base + q_interval, rebuilt));
+  ++stats_.splits;
+  ++stats_.relabel_passes;
+  return Status::OK();
 }
 
 Status VirtualLTree::InsertCore(Label parent_base, uint64_t j,
@@ -358,6 +404,7 @@ Status VirtualLTree::InsertCore(Label parent_base, uint64_t j,
     }
     LTREE_RETURN_IF_ERROR(
         btree_.ReplaceRange(parent_base + j, slot_end, rebuilt));
+    ++stats_.relabel_passes;  // the no-split sibling shift is one pass
   } else {
     std::vector<obtree::Entry> pending;
     pending.reserve(k);

@@ -42,11 +42,17 @@ struct VirtualLTreeStats {
   uint64_t batch_inserts = 0;
   uint64_t batch_leaves = 0;
   uint64_t deletes = 0;
-  uint64_t splits = 0;
+  uint64_t splits = 0;       ///< one per coalesced rebuilt region
   uint64_t root_splits = 0;
-  uint64_t escalations = 0;
+  uint64_t escalations = 0;  ///< fanout-overflow levels folded by the plan
   uint64_t tombstones_purged = 0;
-  /// Range-count probes issued by the maintenance walk.
+  /// Mirror of LTreeStats' plan/apply counters (see core/ltree_stats.h):
+  /// exactly one label-rewrite pass per operation, and the number of
+  /// regions that absorbed at least one escalation level.
+  uint64_t relabel_passes = 0;
+  uint64_t coalesced_regions = 0;
+  /// Range-count probes issued by the maintenance walk (violator walk plus
+  /// the planner's escalation probes).
   uint64_t range_counts = 0;
   /// Labels written back by relabeling (excluding fresh leaves).
   uint64_t labels_rewritten = 0;

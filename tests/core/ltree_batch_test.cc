@@ -7,6 +7,7 @@
 
 #include "common/random.h"
 #include "core/ltree.h"
+#include "model/cost_model.h"
 
 namespace ltree {
 namespace {
@@ -69,6 +70,49 @@ TEST(LTreeBatchTest, HugeBatchTriggersEscalationSafely) {
                   .ok());
   EXPECT_EQ(tree->num_slots(), 5064u);
   EXPECT_TRUE(tree->CheckInvariants().ok());
+  // However the region coalesced, the batch paid exactly one relabel pass.
+  EXPECT_EQ(tree->stats().relabel_passes, 1u);
+}
+
+TEST(LTreeBatchTest, PlanMatchesApplyOutcome) {
+  // The planning phase is pure: it predicts the rebuild decision without
+  // mutating anything, and applying the same batch realizes it exactly.
+  auto tree = LTree::Create(Params{.f = 8, .s = 2}).ValueOrDie();
+  std::vector<LTree::LeafHandle> handles;
+  ASSERT_TRUE(tree->BulkLoad(MakeCookies(64), &handles).ok());
+
+  // Small splice below every budget: no rebuild planned.
+  auto small = tree->PlanBatchAfter(handles[5], 2).ValueOrDie();
+  EXPECT_FALSE(small.needs_rebuild);
+  EXPECT_EQ(small.batch_size, 2u);
+  EXPECT_EQ(tree->num_slots(), 64u) << "planning must not mutate";
+
+  // A batch above the root budget: the planned region is the root.
+  auto big = tree->PlanBatchAfter(handles[5], 1000).ValueOrDie();
+  EXPECT_TRUE(big.needs_rebuild);
+  EXPECT_TRUE(big.rebuild_root);
+  EXPECT_EQ(tree->num_slots(), 64u) << "planning must not mutate";
+
+  // A mid-size batch: planned region pieces and leaves must match what the
+  // rebuild actually produces.
+  auto plan = tree->PlanBatchAfter(handles[5], 40).ValueOrDie();
+  tree->ResetStats();
+  ASSERT_TRUE(tree->InsertBatchAfter(handles[5], MakeCookies(40, 500)).ok());
+  ASSERT_TRUE(tree->CheckInvariants().ok());
+  const LTreeStats& st = tree->stats();
+  if (plan.needs_rebuild && !plan.rebuild_root) {
+    EXPECT_EQ(st.splits, 1u);
+    EXPECT_EQ(st.escalations, plan.levels_coalesced);
+  }
+  EXPECT_EQ(st.relabel_passes, 1u);
+
+  // Capacity failures surface at plan time, exactly like the insert.
+  Params tiny{.f = 4096, .s = 2048};
+  auto small_tree = LTree::Create(tiny).ValueOrDie();
+  ASSERT_TRUE(small_tree->PushBackBatch(MakeCookies(60000)).ok());
+  auto overflow =
+      small_tree->PlanBatchAfter(small_tree->FirstLeaf(), 10000);
+  EXPECT_TRUE(overflow.status().IsCapacityExceeded());
 }
 
 TEST(LTreeBatchTest, BatchBeforeFirstLeaf) {
@@ -141,6 +185,41 @@ TEST(LTreeCapacityTest, TinyLabelSpaceReportsCapacityExceeded) {
   // Smaller inserts still work afterwards.
   EXPECT_TRUE(tree->PushBack(999999).ok());
   EXPECT_TRUE(tree->CheckInvariants().ok());
+}
+
+TEST(LTreeBatchTest, MeasuredAmortizedCostStaysUnderSection41Bound) {
+  // The paper's Section 4.1 bound batch(f,s,n,k) is the invariant the
+  // plan/apply pipeline must respect: measured amortized node accesses per
+  // leaf never exceed it, and batching must beat single-leaf insertion.
+  const Params p{.f = 16, .s = 4};
+  double k1_cost = 0.0;
+  for (const uint64_t k : {1u, 4u, 16u, 64u, 256u}) {
+    auto tree = LTree::Create(p).ValueOrDie();
+    std::vector<LTree::LeafHandle> handles;
+    ASSERT_TRUE(tree->BulkLoad(MakeCookies(2000), &handles).ok());
+    tree->ResetStats();
+    Rng rng(57);
+    uint64_t remaining = 2000;
+    uint64_t next = 2000;
+    while (remaining > 0) {
+      const uint64_t b = std::min(k, remaining);
+      std::vector<LeafCookie> batch(b);
+      for (auto& c : batch) c = next++;
+      const size_t r = static_cast<size_t>(rng.Uniform(handles.size()));
+      ASSERT_TRUE(tree->InsertBatchAfter(handles[r], batch, &handles).ok());
+      remaining -= b;
+    }
+    ASSERT_TRUE(tree->CheckInvariants().ok());
+    const double measured = tree->stats().AmortizedCostPerInsert();
+    const double bound = model::CostModel::BatchAmortizedCost(
+        p.f, p.s, 2000.0, static_cast<double>(k));
+    EXPECT_LE(measured, bound) << "k=" << k;
+    if (k == 1) {
+      k1_cost = measured;
+    } else if (k >= 16) {
+      EXPECT_LT(measured, k1_cost) << "k=" << k;
+    }
+  }
 }
 
 TEST(LTreePurgeTest, TombstonesReclaimedBySplits) {

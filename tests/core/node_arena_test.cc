@@ -220,6 +220,9 @@ struct GoldenExpectation {
   uint64_t leaves_relabeled;
   uint64_t splits;
   uint64_t root_splits;
+  uint64_t escalations = 0;
+  uint64_t relabel_passes = 0;
+  uint64_t coalesced_regions = 0;
   uint64_t tombstones_purged;
   uint64_t max_label;
   uint32_t height;
@@ -232,7 +235,11 @@ void ExpectGolden(const LTree& tree, const GoldenExpectation& want) {
   EXPECT_EQ(st.leaves_relabeled, want.leaves_relabeled);
   EXPECT_EQ(st.splits, want.splits);
   EXPECT_EQ(st.root_splits, want.root_splits);
-  EXPECT_EQ(st.escalations, 0u);
+  EXPECT_EQ(st.escalations, want.escalations);
+  // The plan/apply invariant: exactly one relabel pass per mutation, no
+  // matter how many escalation levels the planner folded into the region.
+  EXPECT_EQ(st.relabel_passes, want.relabel_passes);
+  EXPECT_EQ(st.coalesced_regions, want.coalesced_regions);
   EXPECT_EQ(st.tombstones_purged, want.tombstones_purged);
   EXPECT_EQ(tree.max_label(), want.max_label);
   EXPECT_EQ(tree.height(), want.height);
@@ -257,6 +264,7 @@ TEST(SeedGoldenStatsTest, UniformSingleInserts) {
                        .leaves_relabeled = 36285,
                        .splits = 129,
                        .root_splits = 1,
+                       .relabel_passes = 5000,  // one pass per insert
                        .tombstones_purged = 0,
                        .max_label = 4525800,
                        .height = 6});
@@ -284,6 +292,7 @@ TEST(SeedGoldenStatsTest, BatchInserts) {
                        .leaves_relabeled = 9446,
                        .splits = 63,
                        .root_splits = 1,
+                       .relabel_passes = 64,  // one pass per batch
                        .tombstones_purged = 0,
                        .max_label = 5945634,
                        .height = 6});
@@ -322,9 +331,52 @@ TEST(SeedGoldenStatsTest, MixedEraseInsertWithPurge) {
                        .leaves_relabeled = 68980,
                        .splits = 604,
                        .root_splits = 7,
+                       .relabel_passes = 3000,  // one pass per insert
                        .tombstones_purged = 562,
                        .max_label = 81192,
                        .height = 6});
+}
+
+// Re-goldened for the plan/apply pipeline: batches large enough to overflow
+// the parent fanout used to rebuild once per escalation level; the planner
+// now folds the whole chain into one region, so `splits` counts regions
+// (not levels) and every batch still pays exactly one relabel pass. The
+// label outcome (max_label/height) is unchanged from the seed algorithm —
+// only the per-level rebuild accounting collapsed.
+TEST(SeedGoldenStatsTest, EscalatingBatchesCoalesceIntoOneRegion) {
+  Params p{.f = 16, .s = 2};
+  auto tree = LTree::Create(p).ValueOrDie();
+  std::vector<LeafCookie> cookies(64);
+  for (uint64_t i = 0; i < 64; ++i) cookies[i] = i;
+  std::vector<LTree::LeafHandle> handles;
+  ASSERT_TRUE(tree->BulkLoad(cookies, &handles).ok());
+  tree->ResetStats();
+  Rng rng(11);
+  uint64_t next = 64;
+  for (int b = 0; b < 48; ++b) {
+    const uint64_t k = 8 + rng.Uniform(120);
+    std::vector<LeafCookie> batch(k);
+    for (auto& c : batch) c = next++;
+    const size_t r = static_cast<size_t>(rng.Uniform(handles.size()));
+    ASSERT_TRUE(tree->InsertBatchAfter(handles[r], batch, &handles).ok());
+    ASSERT_TRUE(tree->CheckInvariants().ok()) << "batch " << b;
+  }
+  // 48 batches -> 48 relabel passes, even though one region absorbed a
+  // fanout-overflow escalation (esc=1, coal=1): splits counts regions.
+  ExpectGolden(*tree, {.ancestor_updates = 173,
+                       .nodes_relabeled = 14850,
+                       .leaves_relabeled = 9224,
+                       .splits = 45,
+                       .root_splits = 2,
+                       .escalations = 1,
+                       .relabel_passes = 48,
+                       .coalesced_regions = 1,
+                       .tombstones_purged = 0,
+                       .max_label = 18332,
+                       .height = 4});
+  // The pipeline invariant in closed form: every mutation ran exactly one
+  // relabel pass, regardless of how many levels its region coalesced.
+  EXPECT_EQ(tree->stats().relabel_passes, tree->stats().batch_inserts);
 }
 
 }  // namespace

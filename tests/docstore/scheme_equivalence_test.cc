@@ -15,6 +15,7 @@
 
 #include "common/random.h"
 #include "docstore/labeled_document.h"
+#include "listlab/factory.h"
 #include "query/path_query.h"
 #include "workload/xml_generator.h"
 
@@ -144,6 +145,11 @@ TEST(SchemeStatsFidelityTest, MaterializedAndVirtualAgreeOnCostStats) {
   EXPECT_EQ(ms.batch_inserts, vs.batch_inserts);
   EXPECT_EQ(ms.items_relabeled, vs.items_relabeled);
   EXPECT_EQ(ms.rebalances, vs.rebalances);
+  // The plan/apply pipeline runs the same coalescing decision on both
+  // representations: one relabel pass per operation, identical counts.
+  EXPECT_EQ(ms.relabel_passes, vs.relabel_passes);
+  EXPECT_EQ(ms.coalesced_regions, vs.coalesced_regions);
+  EXPECT_GT(ms.relabel_passes, 0u);
   // Arena counters: both stores run over pooled nodes, so after inserts
   // both must report real allocator traffic (never silent zeros again).
   EXPECT_GT(ms.nodes_allocated, 0u);
@@ -156,6 +162,146 @@ TEST(SchemeStatsFidelityTest, MaterializedAndVirtualAgreeOnCostStats) {
   ASSERT_TRUE(mat->CheckConsistency().ok());
   ASSERT_TRUE(virt->CheckConsistency().ok());
 }
+
+// ---------------------------------------------------------------------------
+// Batch edge cases, uniformly across every scheme family: the LabelStore
+// batch contract (empty batches, head insertion, batches into an empty
+// store, and the all-or-nothing failure guarantee) must hold whether the
+// scheme has a native batch path (the L-Tree variants, now plan/apply) or
+// rides the per-item fallback.
+// ---------------------------------------------------------------------------
+
+class BatchEdgeCaseTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BatchEdgeCaseTest, EmptyBatchIsNoopEverywhere) {
+  auto store = listlab::MakeLabelStore(GetParam()).ValueOrDie();
+  std::vector<listlab::ItemHandle> handles;
+  ASSERT_TRUE(store->BulkLoad(8, &handles).ok());
+  store->ResetStats();
+  const auto labels_before = store->Labels();
+  EXPECT_TRUE(store->InsertBatchAfter(handles[3], {}).ok());
+  EXPECT_TRUE(store->InsertBatchBefore(handles[0], {}).ok());
+  EXPECT_TRUE(store->PushBackBatch({}).ok());
+  EXPECT_EQ(store->size(), 8u);
+  EXPECT_EQ(store->Labels(), labels_before);
+  EXPECT_EQ(store->stats().inserts, 0u);
+  EXPECT_EQ(store->stats().batch_inserts, 0u);
+}
+
+TEST_P(BatchEdgeCaseTest, InsertBatchBeforeHead) {
+  auto store = listlab::MakeLabelStore(GetParam()).ValueOrDie();
+  std::vector<listlab::ItemHandle> handles;
+  ASSERT_TRUE(store->BulkLoad(6, &handles).ok());
+  const std::vector<LeafCookie> batch{100, 101, 102};
+  std::vector<listlab::ItemHandle> fresh;
+  ASSERT_TRUE(store->InsertBatchBefore(handles[0], batch, &fresh).ok());
+  ASSERT_EQ(fresh.size(), 3u);
+  EXPECT_EQ(store->size(), 9u);
+  // The batch lands, in order, strictly before the old head.
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(*store->GetCookie(fresh[i]), batch[i]);
+  }
+  EXPECT_LT(*store->GetLabel(fresh[0]), *store->GetLabel(fresh[1]));
+  EXPECT_LT(*store->GetLabel(fresh[1]), *store->GetLabel(fresh[2]));
+  EXPECT_LT(*store->GetLabel(fresh[2]), *store->GetLabel(handles[0]));
+  EXPECT_TRUE(store->CheckInvariants().ok());
+}
+
+TEST_P(BatchEdgeCaseTest, PushBackBatchOnEmptyStore) {
+  auto store = listlab::MakeLabelStore(GetParam()).ValueOrDie();
+  const std::vector<LeafCookie> batch{7, 8, 9, 10};
+  std::vector<listlab::ItemHandle> fresh;
+  ASSERT_TRUE(store->PushBackBatch(batch, &fresh).ok());
+  ASSERT_EQ(fresh.size(), 4u);
+  EXPECT_EQ(store->size(), 4u);
+  const auto labels = store->Labels();
+  ASSERT_EQ(labels.size(), 4u);
+  for (size_t i = 1; i < labels.size(); ++i) {
+    EXPECT_LT(labels[i - 1], labels[i]);
+  }
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(*store->GetCookie(fresh[i]), batch[i]);
+  }
+  EXPECT_TRUE(store->CheckInvariants().ok());
+}
+
+TEST_P(BatchEdgeCaseTest, FailedBatchLeavesStoreUntouched) {
+  // All-or-nothing: a batch that fails (here: against an erased anchor,
+  // which every scheme must reject) leaves size, labels and stats alone.
+  auto store = listlab::MakeLabelStore(GetParam()).ValueOrDie();
+  std::vector<listlab::ItemHandle> handles;
+  ASSERT_TRUE(store->BulkLoad(8, &handles).ok());
+  ASSERT_TRUE(store->Erase(handles[4]).ok());
+  store->ResetStats();
+  const auto labels_before = store->Labels();
+  const std::vector<LeafCookie> batch{200, 201};
+  Status st = store->InsertBatchAfter(handles[4], batch);
+  EXPECT_FALSE(st.ok()) << GetParam();
+  st = store->InsertBatchBefore(handles[4], batch);
+  EXPECT_FALSE(st.ok()) << GetParam();
+  EXPECT_EQ(store->size(), 7u);
+  EXPECT_EQ(store->Labels(), labels_before);
+  EXPECT_EQ(store->stats().inserts, 0u);
+  EXPECT_TRUE(store->CheckInvariants().ok());
+}
+
+// Mid-batch capacity failure: only the L-Tree variants have a bounded
+// label space to exhaust; the batch must fail atomically, the store must
+// stay fully usable, and a smaller insert must still succeed.
+class BatchCapacityRollbackTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BatchCapacityRollbackTest, CapacityFailureIsAtomic) {
+  // f=4096, s=2048: the (f+1)-ary label space caps the height at 5, so the
+  // leaf budget is 2048 * 2^5 = 65536.
+  auto store = listlab::MakeLabelStore(GetParam()).ValueOrDie();
+  std::vector<LeafCookie> load(60000);
+  for (uint64_t i = 0; i < load.size(); ++i) load[i] = i;
+  std::vector<listlab::ItemHandle> handles;
+  // PushBackBatch, not BulkLoad: a complete d-ary bulk build of 60000
+  // leaves needs height 16, beyond this parameterization's label space;
+  // the incremental path packs up to f children per node.
+  ASSERT_TRUE(store->PushBackBatch(load, &handles).ok());
+  store->ResetStats();
+
+  std::vector<LeafCookie> batch(10000);
+  for (uint64_t i = 0; i < batch.size(); ++i) batch[i] = 100000 + i;
+  std::vector<listlab::ItemHandle> fresh;
+  Status st = store->InsertBatchAfter(handles[30000], batch, &fresh);
+  EXPECT_TRUE(st.IsCapacityExceeded()) << st.ToString();
+  EXPECT_TRUE(fresh.empty());
+  EXPECT_EQ(store->size(), 60000u);
+  EXPECT_EQ(store->stats().inserts, 0u);
+  EXPECT_TRUE(store->CheckInvariants().ok());
+  // The store is not poisoned: smaller batches still fit.
+  const std::vector<LeafCookie> small{1, 2, 3};
+  ASSERT_TRUE(store->InsertBatchAfter(handles[30000], small).ok());
+  EXPECT_EQ(store->size(), 60003u);
+  EXPECT_TRUE(store->CheckInvariants().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, BatchEdgeCaseTest,
+                         ::testing::Values("ltree:16:4", "ltree:4:2:purge",
+                                           "virtual:16:4", "sequential",
+                                           "gap:16", "bender"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == ':' || c == '.') c = '_';
+                           }
+                           return name;
+                         });
+
+INSTANTIATE_TEST_SUITE_P(LTreeSchemes, BatchCapacityRollbackTest,
+                         ::testing::Values("ltree:4096:2048",
+                                           "virtual:4096:2048"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == ':' || c == '.') c = '_';
+                           }
+                           return name;
+                         });
 
 // The full parse -> edit -> query pipeline must run under (at least) these
 // five scheme families — the acceptance bar for the pluggable LabelStore.

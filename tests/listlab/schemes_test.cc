@@ -402,6 +402,10 @@ TEST_P(GoldenSweepTest, UniformStreamStatsMatchSeed) {
   EXPECT_EQ(st.rebalances, want.rebalances) << store->name();
   EXPECT_EQ(store->label_bits(), want.label_bits) << store->name();
   EXPECT_EQ(st.inserts, 2000u);
+  // Plan/apply pipeline invariant: both L-Tree variants pay exactly one
+  // relabel pass per insert, and single-leaf inserts never escalate.
+  EXPECT_EQ(st.relabel_passes, 2000u) << store->name();
+  EXPECT_EQ(st.coalesced_regions, 0u) << store->name();
   // Allocator-traffic accounting must balance: both L-Tree variants run
   // over pooled nodes (NodeArena for the materialized tree, the counted
   // B+-tree's pool for the virtual one), so both must report real nonzero

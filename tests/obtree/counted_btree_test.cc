@@ -244,7 +244,23 @@ TEST(CountedBTreeTest, ReplaceRangeValidation) {
   EXPECT_TRUE(tree.ReplaceRange(0, 10, outside).IsInvalidArgument());
   std::vector<Entry> unsorted{{7, 0}, {6, 0}};
   EXPECT_TRUE(tree.ReplaceRange(0, 10, unsorted).IsInvalidArgument());
-  EXPECT_TRUE(tree.ReplaceRange(10, 10, {}).IsInvalidArgument());
+  EXPECT_TRUE(tree.ReplaceRange(10, 0, {}).IsInvalidArgument());  // lo > hi
+  // An entry can never lie inside an empty range.
+  std::vector<Entry> one{{10, 0}};
+  EXPECT_TRUE(tree.ReplaceRange(10, 10, one).IsInvalidArgument());
+}
+
+TEST(CountedBTreeTest, ReplaceRangeEmptyRangeIsNoop) {
+  CountedBTree tree(4);
+  for (uint64_t i = 0; i < 10; ++i) ASSERT_TRUE(tree.Insert(i, i).ok());
+  ASSERT_TRUE(tree.ReplaceRange(5, 5, {}).ok());
+  EXPECT_EQ(tree.size(), 10u);
+  EXPECT_TRUE(tree.Contains(5));
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  // Also a no-op on an empty tree.
+  CountedBTree empty(4);
+  ASSERT_TRUE(empty.ReplaceRange(0, 0, {}).ok());
+  EXPECT_EQ(empty.size(), 0u);
 }
 
 TEST(CountedBTreeTest, ReplaceRangeEmptyReplacement) {
@@ -256,6 +272,40 @@ TEST(CountedBTreeTest, ReplaceRangeEmptyReplacement) {
   EXPECT_FALSE(tree.Contains(5));
   EXPECT_FALSE(tree.Contains(14));
   EXPECT_TRUE(tree.Contains(15));
+}
+
+TEST(CountedBTreeTest, ReplaceRangeEraseToEmptyAndRefill) {
+  CountedBTree tree(4);
+  for (uint64_t i = 0; i < 20; ++i) ASSERT_TRUE(tree.Insert(i, i).ok());
+  // Pure range erase of everything empties the tree.
+  ASSERT_TRUE(tree.ReplaceRange(0, 100, {}).ok());
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  // A replacement into the now-empty tree rebuilds it.
+  std::vector<Entry> repl;
+  for (uint64_t i = 0; i < 9; ++i) repl.push_back({i * 3, i});
+  ASSERT_TRUE(tree.ReplaceRange(0, 100, repl).ok());
+  EXPECT_EQ(tree.size(), 9u);
+  EXPECT_EQ(*tree.Lookup(24), 8u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(CountedBTreeTest, ReplaceRangeGrowsAndShrinksTheTree) {
+  // A replacement much denser than the original range must grow the tree
+  // (possibly in height), and a sparse one must shrink it, with counts and
+  // occupancy intact either way.
+  CountedBTree tree(4);
+  for (uint64_t i = 0; i < 50; ++i) ASSERT_TRUE(tree.Insert(i * 100, i).ok());
+  std::vector<Entry> dense;
+  for (uint64_t i = 0; i < 400; ++i) dense.push_back({1000 + i, i});
+  ASSERT_TRUE(tree.ReplaceRange(1000, 2000, dense).ok());
+  EXPECT_EQ(tree.size(), 50u - 10u + 400u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  std::vector<Entry> sparse{{1500, 7u}};
+  ASSERT_TRUE(tree.ReplaceRange(1000, 2000, sparse).ok());
+  EXPECT_EQ(tree.size(), 50u - 10u + 1u);
+  EXPECT_EQ(*tree.Lookup(1500), 7u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
 }
 
 TEST(CountedBTreeTest, MoveConstruction) {

@@ -137,6 +137,16 @@ TEST_P(EquivalenceTest, BatchInsertStreams) {
     ASSERT_TRUE(mt->CheckInvariants().ok()) << "round " << round;
     ASSERT_TRUE(vt->CheckInvariants().ok()) << "round " << round;
   }
+  // The plan/apply pipeline makes the same coalescing decisions on both
+  // representations, so the full structural accounting stays in lockstep
+  // even through batch escalations.
+  EXPECT_EQ(mt->stats().splits, vt->stats().splits);
+  EXPECT_EQ(mt->stats().root_splits, vt->stats().root_splits);
+  EXPECT_EQ(mt->stats().escalations, vt->stats().escalations);
+  EXPECT_EQ(mt->stats().relabel_passes, vt->stats().relabel_passes);
+  EXPECT_EQ(mt->stats().coalesced_regions, vt->stats().coalesced_regions);
+  // Exactly one relabel pass per batch.
+  EXPECT_EQ(mt->stats().relabel_passes, mt->stats().batch_inserts);
 }
 
 TEST_P(EquivalenceTest, AppendOnlyStream) {

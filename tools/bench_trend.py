@@ -1,11 +1,13 @@
 #!/usr/bin/env python3
-"""Diff two runs of the BENCH_*.json perf-trajectory artifacts.
+"""Diff runs of the BENCH_*.json perf-trajectory artifacts.
 
 The bench smoke step in CI used to only range-check a single run; this
-script compares consecutive runs so drifts that stay inside the static
-ranges are still visible (and can be made fatal).
+script compares runs so drifts that stay inside the static ranges are
+still visible (and can be made fatal).
 
-Usage:
+Two modes:
+
+Pairwise (the original):
     bench_trend.py OLD NEW [--fail-above PCT]
 
 OLD and NEW are either two BENCH_*.json files of the same bench, or two
@@ -19,6 +21,18 @@ Every shared numeric measurement is reported as old -> new (delta%). With
 --fail-above PCT the exit status is 1 if any lower-is-better metric (wall
 times, per-leaf allocator columns, the materialized-vs-virtual ratios)
 regressed by more than PCT percent.
+
+History (multi-run):
+    bench_trend.py --history BENCH_trend.jsonl --record DIR \
+        [--run-id ID] [--window N] [--fail-above PCT]
+
+Appends every BENCH_*.json found in DIR to the JSONL history file as one
+run entry, then compares the just-recorded run against the *oldest* run
+inside the trailing window (default 20 runs) with the same matching rules
+as the pairwise mode. Run-over-run noise cancels out over the window, so
+drifts too slow to trip a consecutive-run diff become visible. CI keeps
+the history file in the actions cache and re-uploads it as an artifact, so
+the window survives across pushes.
 """
 
 import argparse
@@ -27,6 +41,7 @@ import math
 import os
 import re
 import sys
+import time
 
 IDENTITY_FIELDS = ("f", "s", "n", "k", "inserts", "spec", "scheme")
 
@@ -108,17 +123,132 @@ def resolve_pairs(old_path, new_path):
         yield os.path.basename(new_path), old_path, new_path
 
 
+def bench_files(directory):
+    return sorted(n for n in os.listdir(directory)
+                  if n.startswith("BENCH_") and n.endswith(".json"))
+
+
+def load_history(path):
+    runs = []
+    if os.path.exists(path):
+        with open(path) as f:
+            for i, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    runs.append(json.loads(line))
+                except json.JSONDecodeError:
+                    # A truncated cache save must not kill the trend forever:
+                    # drop the bad line (the next prune rewrites the file).
+                    print(f"warning: {path}:{i} is not valid JSON; skipping",
+                          file=sys.stderr)
+    return runs
+
+
+def record_run(history_path, run_id, directory):
+    entry = {"run": run_id, "recorded_at": int(time.time()), "benches": {}}
+    for name in bench_files(directory):
+        entry["benches"][name] = load(os.path.join(directory, name))
+    if not entry["benches"]:
+        print(f"no BENCH_*.json files found in {directory}; nothing recorded")
+        return None
+    with open(history_path, "a") as f:
+        f.write(json.dumps(entry) + "\n")
+    return entry
+
+
+def prune_history(path, runs, window):
+    """Rewrites the file to the trailing window (also drops corrupt lines)."""
+    if not window or len(runs) <= window:
+        return runs
+    runs = runs[-window:]
+    tmp = path + ".tmp"
+    with open(tmp, "w") as f:
+        for run in runs:
+            f.write(json.dumps(run) + "\n")
+    os.replace(tmp, path)
+    return runs
+
+
+def history_trend(history_path, run_id, directory, window, fail_above):
+    entry = record_run(history_path, run_id, directory)
+    if entry is None:
+        return 0
+    runs = prune_history(history_path, load_history(history_path), window)
+    windowed = runs[-window:] if window else runs
+    if len(windowed) < 2:
+        print(f"history holds {len(runs)} run(s); nothing to compare yet")
+        return 0
+    base = windowed[0]
+    print(f"history: {len(runs)} run(s) recorded; comparing newest "
+          f"({entry['run']}) against the oldest of the last "
+          f"{len(windowed)} ({base['run']})")
+    regressions = []
+    compared = 0
+    for name, new_doc in entry["benches"].items():
+        old_doc = base.get("benches", {}).get(name)
+        if old_doc is None:
+            print(f"[{name}] not present at the window start; skipping")
+            continue
+        if old_doc.get("bench") != new_doc.get("bench"):
+            print(f"[{name}] bench name changed; skipping")
+            continue
+        compared += 1
+        regressions += compare_bench(name, old_doc, new_doc, fail_above)
+    return finish(compared, regressions, fail_above)
+
+
+def finish(compared, regressions, fail_above):
+    if compared == 0:
+        print("no comparable BENCH_*.json pairs found")
+        return 0
+    if regressions:
+        print(f"\n{len(regressions)} metric(s) regressed beyond "
+              f"{fail_above}%:")
+        for name, ident, key, old_val, new_val, delta in regressions:
+            print(f"  [{name}] {ident}: {key} {old_val} -> {new_val} "
+                  f"({delta:+.2f}%)")
+        return 1
+    print(f"\ncompared {compared} bench file(s); no regressions flagged")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(
         description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
-    parser.add_argument("old", help="previous run: BENCH_*.json or directory")
-    parser.add_argument("new", help="current run: BENCH_*.json or directory")
+    parser.add_argument("old", nargs="?",
+                        help="previous run: BENCH_*.json or directory")
+    parser.add_argument("new", nargs="?",
+                        help="current run: BENCH_*.json or directory")
     parser.add_argument("--fail-above", type=float, default=None,
                         metavar="PCT",
                         help="exit 1 if a lower-is-better metric regressed "
                              "by more than PCT percent")
+    parser.add_argument("--history", metavar="FILE",
+                        help="JSONL multi-run history file (appended)")
+    parser.add_argument("--record", metavar="DIR",
+                        help="directory whose BENCH_*.json files are "
+                             "appended to --history as one run")
+    parser.add_argument("--run-id", default=None,
+                        help="identifier for the recorded run (defaults to "
+                             "$GITHUB_SHA or a timestamp)")
+    parser.add_argument("--window", type=int, default=20,
+                        help="trailing history window to diff across "
+                             "(default 20 runs; 0 = whole history)")
     args = parser.parse_args()
 
+    if args.history:
+        if not args.record:
+            parser.error("--history requires --record DIR")
+        run_id = args.run_id or os.environ.get("GITHUB_SHA", "")[:12] or \
+            time.strftime("%Y-%m-%dT%H:%M:%S")
+        return history_trend(args.history, run_id, args.record,
+                             args.window, args.fail_above)
+
+    if not args.old or not args.new:
+        parser.error("pairwise mode requires OLD and NEW "
+                     "(or use --history/--record)")
     regressions = []
     compared = 0
     for name, old_file, new_file in resolve_pairs(args.old, args.new):
@@ -131,19 +261,7 @@ def main():
         compared += 1
         regressions += compare_bench(name, old_doc, new_doc,
                                      args.fail_above)
-
-    if compared == 0:
-        print("no comparable BENCH_*.json pairs found")
-        return 0
-    if regressions:
-        print(f"\n{len(regressions)} metric(s) regressed beyond "
-              f"{args.fail_above}%:")
-        for name, ident, key, old_val, new_val, delta in regressions:
-            print(f"  [{name}] {ident}: {key} {old_val} -> {new_val} "
-                  f"({delta:+.2f}%)")
-        return 1
-    print(f"\ncompared {compared} bench file(s); no regressions flagged")
-    return 0
+    return finish(compared, regressions, args.fail_above)
 
 
 if __name__ == "__main__":
