@@ -1,109 +1,21 @@
 // CheckInvariants and DebugString for LTree.
 //
+// The deep validation walk lives in core/validate.cc (audit::AuditLTree),
+// shared with the unified invariant auditor; this file keeps the legacy
+// Status-returning wrapper and the structural dumper.
+//
 // The checker validates Proposition 2 of the paper plus the label-identity
 // invariant that the virtual L-Tree (Section 4.2) relies on:
 //   num(w) = num(parent(w)) + index(w) * (f+1)^{h(w)}.
 
 #include <sstream>
 
-#include "common/macros.h"
-#include "common/string_util.h"
 #include "core/ltree.h"
+#include "core/validate.h"
 
 namespace ltree {
 
 namespace {
-
-struct CheckContext {
-  const Params* params;
-  const PowerTable* powers;
-  uint32_t tree_height;
-  uint64_t leaf_slots = 0;
-  uint64_t live = 0;
-  Label prev_label = 0;
-  bool saw_leaf = false;
-};
-
-Status CheckNode(const Node* node, const Node* expected_parent,
-                 uint32_t expected_index, Label expected_num,
-                 CheckContext* ctx) {
-  if (node->parent != expected_parent) {
-    return Status::Corruption("parent pointer mismatch");
-  }
-  if (node->index_in_parent != expected_index) {
-    return Status::Corruption(
-        StrFormat("index_in_parent mismatch: have %u want %u",
-                  node->index_in_parent, expected_index));
-  }
-  if (node->num != expected_num) {
-    return Status::Corruption(StrFormat(
-        "num mismatch at height %u: have %llu want %llu", node->height,
-        static_cast<unsigned long long>(node->num),
-        static_cast<unsigned long long>(expected_num)));
-  }
-  if (node->IsLeaf()) {
-    if (!node->children.empty()) {
-      return Status::Corruption("leaf with children");
-    }
-    if (node->leaf_count != 1) {
-      return Status::Corruption("leaf with leaf_count != 1");
-    }
-    // Proposition 1: labels strictly increase in document order.
-    if (ctx->saw_leaf && node->num <= ctx->prev_label) {
-      return Status::Corruption(StrFormat(
-          "labels not strictly increasing: %llu after %llu",
-          static_cast<unsigned long long>(node->num),
-          static_cast<unsigned long long>(ctx->prev_label)));
-    }
-    ctx->prev_label = node->num;
-    ctx->saw_leaf = true;
-    ++ctx->leaf_slots;
-    if (!node->deleted) ++ctx->live;
-    return Status::OK();
-  }
-
-  // Internal node checks.
-  if (node->children.empty()) {
-    return Status::Corruption("internal node with no children");
-  }
-  // Fanout: at most f+1 children fit the (f+1)-ary label space. (f for
-  // steady state; f+1 transiently, see DESIGN.md.)
-  if (node->children.size() > static_cast<size_t>(ctx->params->f) + 1) {
-    return Status::Corruption(StrFormat(
-        "fanout %zu exceeds f+1=%u at height %u", node->children.size(),
-        ctx->params->f + 1, node->height));
-  }
-  // Proposition 2(1) upper bound: l(t) < lmax(t) after every operation
-  // (nodes reaching the budget are split immediately).
-  if (node->leaf_count >= ctx->powers->LeafBudget(node->height)) {
-    return Status::Corruption(StrFormat(
-        "leaf_count %llu at height %u reaches budget %llu",
-        static_cast<unsigned long long>(node->leaf_count), node->height,
-        static_cast<unsigned long long>(
-            ctx->powers->LeafBudget(node->height))));
-  }
-  uint64_t child_leaves = 0;
-  for (uint32_t i = 0; i < node->children.size(); ++i) {
-    const Node* child = node->children[i];
-    if (child->height + 1 != node->height) {
-      return Status::Corruption(StrFormat(
-          "height mismatch: child %u under height-%u node", child->height,
-          node->height));
-    }
-    const Label child_num =
-        node->num +
-        static_cast<uint64_t>(i) * ctx->powers->PowF1(child->height);
-    LTREE_RETURN_IF_ERROR(CheckNode(child, node, i, child_num, ctx));
-    child_leaves += child->leaf_count;
-  }
-  if (child_leaves != node->leaf_count) {
-    return Status::Corruption(StrFormat(
-        "leaf_count %llu != sum of children %llu at height %u",
-        static_cast<unsigned long long>(node->leaf_count),
-        static_cast<unsigned long long>(child_leaves), node->height));
-  }
-  return Status::OK();
-}
 
 void DumpNode(const Node* node, int depth, bool show_internal,
               std::ostringstream* os) {
@@ -128,29 +40,9 @@ void DumpNode(const Node* node, int depth, bool show_internal,
 }  // namespace
 
 Status LTree::CheckInvariants() const {
-  if (root_ == nullptr) return Status::Corruption("null root");
-  if (root_->IsLeaf()) return Status::Corruption("root must be internal");
-  if (root_->leaf_count == 0) {
-    if (!root_->children.empty()) {
-      return Status::Corruption("empty tree with children");
-    }
-    return Status::OK();
-  }
-  CheckContext ctx;
-  ctx.params = &params_;
-  ctx.powers = &powers_;
-  ctx.tree_height = root_->height;
-  LTREE_RETURN_IF_ERROR(CheckNode(root_, nullptr, 0, 0, &ctx));
-  if (ctx.leaf_slots != root_->leaf_count) {
-    return Status::Corruption("root leaf_count mismatch");
-  }
-  if (ctx.live != live_leaves_) {
-    return Status::Corruption(
-        StrFormat("live leaf counter %llu != actual %llu",
-                  static_cast<unsigned long long>(live_leaves_),
-                  static_cast<unsigned long long>(ctx.live)));
-  }
-  return Status::OK();
+  audit::Report report;
+  audit::AuditLTree(*this, &report);
+  return report.ToStatus();
 }
 
 std::string LTree::DebugString(bool show_internal) const {

@@ -1,0 +1,249 @@
+// audit::Report plumbing and the deep L-Tree validator.
+//
+// The L-Tree checks migrated here from the first-failure
+// LTree::CheckInvariants (core/invariants.cc keeps only the DebugString
+// dumper and the thin Status wrapper): same rules, but every violation is
+// reported with a structural path instead of stopping at the first.
+
+#include "core/validate.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+#include "core/ltree.h"
+
+namespace ltree {
+namespace audit {
+
+std::string Violation::ToString() const {
+  return StrFormat("[%s] %s: %s", rule.c_str(), path.c_str(),
+                   message.c_str());
+}
+
+void Report::Add(std::string path, std::string rule, std::string message) {
+  if (violations_.size() >= max_violations_) {
+    ++dropped_;
+    return;
+  }
+  violations_.push_back(
+      Violation{std::move(path), std::move(rule), std::move(message)});
+}
+
+bool Report::HasRule(std::string_view rule) const {
+  for (const Violation& v : violations_) {
+    if (v.rule == rule) return true;
+  }
+  return false;
+}
+
+void Report::Absorb(const Report& other, std::string_view prefix) {
+  for (const Violation& v : other.violations_) {
+    Add(std::string(prefix) + v.path, v.rule, v.message);
+  }
+  dropped_ += other.dropped_;
+}
+
+std::string Report::ToString() const {
+  if (ok()) return "ok";
+  std::ostringstream os;
+  os << total() << " violation(s):";
+  for (const Violation& v : violations_) {
+    os << "\n  " << v.ToString();
+  }
+  if (dropped_ > 0) {
+    os << "\n  ... and " << dropped_ << " more (report cap reached)";
+  }
+  return os.str();
+}
+
+Status Report::ToStatus() const {
+  if (ok()) return Status::OK();
+  const Violation& first = violations_.front();
+  std::string msg = first.ToString();
+  if (total() > 1) {
+    msg += StrFormat(" (+%llu more)",
+                     static_cast<unsigned long long>(total() - 1));
+  }
+  return Status::Corruption(std::move(msg));
+}
+
+// --------------------------------------------------------------------------
+// Materialized L-Tree deep validator
+// --------------------------------------------------------------------------
+
+namespace {
+
+struct LTreeAuditContext {
+  const Params* params;
+  const PowerTable* powers;
+  Report* report;
+  uint64_t leaf_slots = 0;
+  uint64_t live = 0;
+  uint64_t reachable_nodes = 0;
+  Label prev_label = 0;
+  bool saw_leaf = false;
+};
+
+void AuditNode(const Node* node, const Node* expected_parent,
+               uint32_t expected_index, Label expected_num,
+               const std::string& path, LTreeAuditContext* ctx) {
+  ++ctx->reachable_nodes;
+  if (node->parent != expected_parent) {
+    ctx->report->Add(path, "parent-link",
+                     "parent pointer does not point at the actual parent");
+  }
+  if (node->index_in_parent != expected_index) {
+    ctx->report->Add(path, "child-index",
+                     StrFormat("index_in_parent is %u, actual slot is %u",
+                               node->index_in_parent, expected_index));
+  }
+  if (node->num != expected_num) {
+    // The paper's label identity: num(w) = num(parent) + i * (f+1)^{h(w)}.
+    ctx->report->Add(
+        path, "label-identity",
+        StrFormat("num is %llu, identity requires %llu at height %u",
+                  static_cast<unsigned long long>(node->num),
+                  static_cast<unsigned long long>(expected_num),
+                  node->height));
+  }
+  if (node->IsLeaf()) {
+    if (!node->children.empty()) {
+      ctx->report->Add(path, "leaf-childless",
+                       StrFormat("leaf has %zu children",
+                                 node->children.size()));
+    }
+    if (node->leaf_count != 1) {
+      ctx->report->Add(
+          path, "leaf-count-unit",
+          StrFormat("leaf has leaf_count %llu, want 1",
+                    static_cast<unsigned long long>(node->leaf_count)));
+    }
+    // Proposition 1: labels strictly increase in document order.
+    if (ctx->saw_leaf && node->num <= ctx->prev_label) {
+      ctx->report->Add(
+          path, "label-order",
+          StrFormat("label %llu not above predecessor %llu",
+                    static_cast<unsigned long long>(node->num),
+                    static_cast<unsigned long long>(ctx->prev_label)));
+    }
+    ctx->prev_label = node->num;
+    ctx->saw_leaf = true;
+    ++ctx->leaf_slots;
+    if (!node->deleted) ++ctx->live;
+    return;
+  }
+
+  if (node->children.empty()) {
+    ctx->report->Add(path, "internal-childless",
+                     "internal node with no children");
+    return;
+  }
+  // Fanout: at most f+1 children fit the (f+1)-ary label space (f steady
+  // state, f+1 transiently; see DESIGN notes in core/invariants.cc).
+  if (node->children.size() > static_cast<size_t>(ctx->params->f) + 1) {
+    ctx->report->Add(path, "fanout",
+                     StrFormat("fanout %zu exceeds f+1=%u at height %u",
+                               node->children.size(), ctx->params->f + 1,
+                               node->height));
+  }
+  // Proposition 2(1) upper bound: l(t) < lmax(t) after every operation.
+  if (node->leaf_count >= ctx->powers->LeafBudget(node->height)) {
+    ctx->report->Add(
+        path, "leaf-budget",
+        StrFormat("leaf_count %llu at height %u reaches budget %llu",
+                  static_cast<unsigned long long>(node->leaf_count),
+                  node->height,
+                  static_cast<unsigned long long>(
+                      ctx->powers->LeafBudget(node->height))));
+  }
+  uint64_t child_leaves = 0;
+  for (uint32_t i = 0; i < node->children.size(); ++i) {
+    const Node* child = node->children[i];
+    const std::string child_path = (path.back() == '/' ? path : path + "/") +
+                                   std::to_string(i);
+    if (child == nullptr) {
+      ctx->report->Add(child_path, "null-child", "null child pointer");
+      continue;
+    }
+    if (child->height + 1 != node->height) {
+      ctx->report->Add(child_path, "height-step",
+                       StrFormat("height-%u child under height-%u node",
+                                 child->height, node->height));
+      // The label identity below would cascade nonsense; still recurse so
+      // deeper violations surface.
+    }
+    const Label child_num =
+        node->num +
+        static_cast<uint64_t>(i) * ctx->powers->PowF1(child->height);
+    AuditNode(child, node, i, child_num, child_path, ctx);
+    child_leaves += child->leaf_count;
+  }
+  if (child_leaves != node->leaf_count) {
+    ctx->report->Add(
+        path, "leaf-count-sum",
+        StrFormat("leaf_count %llu != sum of children %llu at height %u",
+                  static_cast<unsigned long long>(node->leaf_count),
+                  static_cast<unsigned long long>(child_leaves),
+                  node->height));
+  }
+}
+
+}  // namespace
+
+void AuditLTree(const LTree& tree, Report* report) {
+  const Node* root = tree.root();
+  if (root == nullptr) {
+    report->Add("ltree:/", "root-null", "null root");
+    return;
+  }
+  if (root->IsLeaf()) {
+    report->Add("ltree:/", "root-internal", "root must be internal");
+    return;
+  }
+  LTreeAuditContext ctx;
+  ctx.params = &tree.params();
+  ctx.powers = &tree.powers();
+  ctx.report = report;
+  if (root->leaf_count == 0) {
+    if (!root->children.empty()) {
+      report->Add("ltree:/", "leaf-count-sum",
+                  "empty tree (leaf_count 0) with children");
+    }
+    if (tree.num_live_leaves() != 0) {
+      report->Add("ltree:/", "live-count",
+                  StrFormat("empty tree but num_live_leaves() is %llu",
+                            static_cast<unsigned long long>(
+                                tree.num_live_leaves())));
+    }
+    return;
+  }
+  AuditNode(root, nullptr, 0, 0, "ltree:/", &ctx);
+  if (ctx.leaf_slots != root->leaf_count) {
+    report->Add("ltree:/", "leaf-count-sum",
+                StrFormat("root leaf_count %llu != actual leaf slots %llu",
+                          static_cast<unsigned long long>(root->leaf_count),
+                          static_cast<unsigned long long>(ctx.leaf_slots)));
+  }
+  // Tombstone accounting: the live counter must equal leaf slots minus
+  // tombstones, which the walk counts directly.
+  if (ctx.live != tree.num_live_leaves()) {
+    report->Add("ltree:/", "live-count",
+                StrFormat("num_live_leaves() %llu != actual live leaves %llu",
+                          static_cast<unsigned long long>(
+                              tree.num_live_leaves()),
+                          static_cast<unsigned long long>(ctx.live)));
+  }
+  // Arena conservation: every node the pool considers live must be
+  // reachable from the root and vice versa.
+  if (ctx.reachable_nodes != tree.arena_stats().live()) {
+    report->Add(
+        "ltree:/", "arena-conservation",
+        StrFormat("%llu nodes reachable but the arena accounts %llu live",
+                  static_cast<unsigned long long>(ctx.reachable_nodes),
+                  static_cast<unsigned long long>(
+                      tree.arena_stats().live())));
+  }
+}
+
+}  // namespace audit
+}  // namespace ltree

@@ -1,0 +1,105 @@
+// Unified invariant auditor.
+//
+// Every ordered structure in this library maintains invariants the paper's
+// correctness argument rests on — L-Tree labels stay order-correct under
+// batched relabeling within the Section 4.1 batch(f,s,n,k) bound — and each
+// used to check them piecemeal (ad-hoc CheckInvariants methods returning
+// only the first violation). This header is the common substrate those
+// checks now share:
+//
+//   * audit::Violation — one broken rule, with a structural path to the
+//     offending node (e.g. "ltree:/2/0") and a stable rule slug
+//     (e.g. "label-order") tests can assert on;
+//   * audit::Report — a bounded collector of violations that renders to a
+//     human-readable listing or collapses to the legacy Corruption Status;
+//   * deep validators — AuditLTree here, CountedBTree::Audit,
+//     VirtualLTree::Audit and xml::Document::Audit on their classes (their
+//     node types are private), and the scheme-generic
+//     listlab::LabelStore::Validate() that every labeling scheme implements.
+//
+// Unlike the old first-failure checks, validators keep walking after a hit
+// so one audit reports every broken rule at once (up to Report's cap).
+// Configuring with -DLISTLAB_VALIDATE=ON makes every LabelStore re-audit
+// itself after each mutating call and abort with the full report on the
+// first operation that corrupts the structure.
+
+#ifndef LTREE_CORE_VALIDATE_H_
+#define LTREE_CORE_VALIDATE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ltree {
+
+class LTree;
+
+namespace audit {
+
+/// One violated invariant at one location.
+struct Violation {
+  /// Structural path to the offending node: a structure tag followed by
+  /// child indices from the root, e.g. "ltree:/2/0" or "btree:/1".
+  std::string path;
+  /// Stable machine-checkable rule slug, e.g. "label-order" or
+  /// "arena-conservation". Negative tests assert on these.
+  std::string rule;
+  /// Human-readable detail (expected vs. actual values).
+  std::string message;
+
+  std::string ToString() const;
+};
+
+/// Collects violations during a deep validation walk. Bounded: a badly
+/// corrupted structure can violate a rule at every node, so past
+/// `max_violations` the report only counts further hits.
+class Report {
+ public:
+  Report() = default;
+  explicit Report(size_t max_violations) : max_violations_(max_violations) {}
+
+  /// Records one violation (or just counts it once the cap is reached).
+  void Add(std::string path, std::string rule, std::string message);
+
+  bool ok() const { return violations_.empty() && dropped_ == 0; }
+
+  /// Total violations seen, including ones dropped past the cap.
+  uint64_t total() const { return violations_.size() + dropped_; }
+
+  const std::vector<Violation>& violations() const { return violations_; }
+
+  /// True if any recorded violation matches `rule` (for negative tests).
+  bool HasRule(std::string_view rule) const;
+
+  /// Merges `other`'s recorded violations into this report, prefixing each
+  /// path with `prefix` (for stores that aggregate sub-structure audits).
+  void Absorb(const Report& other, std::string_view prefix);
+
+  /// "ok" or a newline-separated listing of every recorded violation.
+  std::string ToString() const;
+
+  /// OK, or Corruption carrying the first violation (and the total count),
+  /// matching what the legacy CheckInvariants methods returned.
+  Status ToStatus() const;
+
+ private:
+  std::vector<Violation> violations_;
+  size_t max_violations_ = 64;
+  uint64_t dropped_ = 0;
+};
+
+/// Deep validator for the materialized L-Tree: Proposition 2 structure
+/// (uniform leaf depth, fanout <= f+1, leaf budgets l(t) < lmax(t)),
+/// parent/child link symmetry, the label identity
+/// num(w) = num(parent) + index(w) * (f+1)^{h(w)} (hence Proposition 1
+/// strict label monotonicity across leaves), tombstone accounting against
+/// num_live_leaves(), and arena conservation (live() == reachable nodes).
+void AuditLTree(const LTree& tree, Report* report);
+
+}  // namespace audit
+}  // namespace ltree
+
+#endif  // LTREE_CORE_VALIDATE_H_

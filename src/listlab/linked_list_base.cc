@@ -80,6 +80,7 @@ Status LinkedListScheme::BulkLoad(std::span<const LeafCookie> cookies,
   if (!cookies.empty()) {
     LTREE_RETURN_IF_ERROR(AssignInitialLabels(cookies.size()));
   }
+  AutoValidate("BulkLoad");
   return Status::OK();
 }
 
@@ -95,6 +96,7 @@ Result<ItemHandle> LinkedListScheme::InsertLinked(ListItem* where,
     return st;
   }
   ++stats_.inserts;
+  AutoValidate("Insert");
   return item->handle;
 }
 
@@ -129,6 +131,7 @@ Status LinkedListScheme::Erase(ItemHandle h) {
   Unlink(item);
   item->erased = true;
   ++stats_.erases;
+  AutoValidate("Erase");
   return Status::OK();
 }
 
@@ -156,27 +159,58 @@ std::vector<Label> LinkedListScheme::Labels() const {
   return out;
 }
 
-Status LinkedListScheme::CheckInvariants() const {
+audit::Report LinkedListScheme::Validate() const {
+  audit::Report report;
   uint64_t count = 0;
   const ListItem* prev = nullptr;
   for (const ListItem* it = head_; it != nullptr; it = it->next) {
-    if (it->erased) return Status::Corruption("erased item still linked");
-    if (it->prev != prev) return Status::Corruption("broken prev link");
+    const std::string path = "list:/" + std::to_string(count);
+    if (it->erased) {
+      report.Add(path, "erased-linked", "erased item still linked");
+    }
+    if (it->prev != prev) {
+      report.Add(path, "link-symmetry",
+                 "prev does not point at the previous linked item");
+    }
     if (prev != nullptr && prev->label >= it->label) {
-      return Status::Corruption(StrFormat(
-          "labels not strictly increasing: %llu then %llu",
-          static_cast<unsigned long long>(prev->label),
-          static_cast<unsigned long long>(it->label)));
+      report.Add(path, "label-order",
+                 StrFormat("label %llu not above predecessor %llu",
+                           static_cast<unsigned long long>(it->label),
+                           static_cast<unsigned long long>(prev->label)));
     }
     if (it->label >= LabelUniverse()) {
-      return Status::Corruption("label outside universe");
+      report.Add(path, "label-universe",
+                 StrFormat("label %llu outside universe %llu",
+                           static_cast<unsigned long long>(it->label),
+                           static_cast<unsigned long long>(
+                               LabelUniverse())));
+    }
+    // Handle-table consistency: a linked item must be registered in the
+    // handle table under its own handle.
+    if (it->handle >= items_.size() || items_[it->handle] != it) {
+      report.Add(path, "handle-map",
+                 StrFormat("linked item's handle %llu does not resolve "
+                           "back to it",
+                           static_cast<unsigned long long>(it->handle)));
     }
     prev = it;
     ++count;
+    if (count > items_.size()) {
+      report.Add(path, "link-symmetry", "next links form a cycle");
+      break;
+    }
   }
-  if (prev != tail_) return Status::Corruption("tail mismatch");
-  if (count != live_) return Status::Corruption("live count mismatch");
-  return Status::OK();
+  if (prev != tail_) {
+    report.Add("list:/", "link-symmetry",
+               "tail does not point at the final linked item");
+  }
+  if (count != live_) {
+    report.Add("list:/", "live-count",
+               StrFormat("live counter %llu != %llu linked items",
+                         static_cast<unsigned long long>(live_),
+                         static_cast<unsigned long long>(count)));
+  }
+  return report;
 }
 
 }  // namespace listlab

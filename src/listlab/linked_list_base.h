@@ -49,7 +49,12 @@ class LinkedListScheme : public LabelStore {
   std::vector<Label> Labels() const final;
   const MaintStats& stats() const final { return stats_; }
   void ResetStats() final { stats_ = MaintStats(); }
-  Status CheckInvariants() const override;
+
+  /// Deep validator shared by the three linked-list schemes: link symmetry
+  /// (prev/next/tail), strict label monotonicity, label-universe bounds,
+  /// live-count accounting, and handle-table consistency (each linked item
+  /// registered under its own handle, erased items unlinked).
+  audit::Report Validate() const override;
 
  protected:
   /// Assigns initial labels for the n freshly linked items (head_ onward).

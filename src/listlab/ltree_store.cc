@@ -1,9 +1,11 @@
 #include "listlab/ltree_store.h"
 
 #include <numeric>
+#include <unordered_map>
 
 #include "common/macros.h"
 #include "common/string_util.h"
+#include "core/validate.h"
 
 namespace ltree {
 namespace listlab {
@@ -59,6 +61,7 @@ Status LTreeStore::BulkLoad(std::span<const LeafCookie> cookies,
   std::vector<LTree::LeafHandle> fresh;
   LTREE_RETURN_IF_ERROR(tree_->BulkLoad(cookies, &fresh));
   for (LTree::LeafHandle h : fresh) Register(h, handles);
+  AutoValidate("BulkLoad");
   return Status::OK();
 }
 
@@ -66,7 +69,9 @@ Result<ItemHandle> LTreeStore::InsertAfter(ItemHandle pos, LeafCookie cookie) {
   LTREE_ASSIGN_OR_RETURN(LTree::LeafHandle where, LiveHandle(pos));
   LTREE_ASSIGN_OR_RETURN(LTree::LeafHandle fresh,
                          tree_->InsertAfter(where, cookie));
-  return Register(fresh, nullptr);
+  const ItemHandle h = Register(fresh, nullptr);
+  AutoValidate("InsertAfter");
+  return h;
 }
 
 Result<ItemHandle> LTreeStore::InsertBefore(ItemHandle pos,
@@ -74,17 +79,23 @@ Result<ItemHandle> LTreeStore::InsertBefore(ItemHandle pos,
   LTREE_ASSIGN_OR_RETURN(LTree::LeafHandle where, LiveHandle(pos));
   LTREE_ASSIGN_OR_RETURN(LTree::LeafHandle fresh,
                          tree_->InsertBefore(where, cookie));
-  return Register(fresh, nullptr);
+  const ItemHandle h = Register(fresh, nullptr);
+  AutoValidate("InsertBefore");
+  return h;
 }
 
 Result<ItemHandle> LTreeStore::PushBack(LeafCookie cookie) {
   LTREE_ASSIGN_OR_RETURN(LTree::LeafHandle fresh, tree_->PushBack(cookie));
-  return Register(fresh, nullptr);
+  const ItemHandle h = Register(fresh, nullptr);
+  AutoValidate("PushBack");
+  return h;
 }
 
 Result<ItemHandle> LTreeStore::PushFront(LeafCookie cookie) {
   LTREE_ASSIGN_OR_RETURN(LTree::LeafHandle fresh, tree_->PushFront(cookie));
-  return Register(fresh, nullptr);
+  const ItemHandle h = Register(fresh, nullptr);
+  AutoValidate("PushFront");
+  return h;
 }
 
 Status LTreeStore::InsertBatchAfter(ItemHandle pos,
@@ -94,6 +105,7 @@ Status LTreeStore::InsertBatchAfter(ItemHandle pos,
   std::vector<LTree::LeafHandle> fresh;
   LTREE_RETURN_IF_ERROR(tree_->InsertBatchAfter(where, cookies, &fresh));
   for (LTree::LeafHandle h : fresh) Register(h, handles);
+  AutoValidate("InsertBatchAfter");
   return Status::OK();
 }
 
@@ -104,6 +116,7 @@ Status LTreeStore::InsertBatchBefore(ItemHandle pos,
   std::vector<LTree::LeafHandle> fresh;
   LTREE_RETURN_IF_ERROR(tree_->InsertBatchBefore(where, cookies, &fresh));
   for (LTree::LeafHandle h : fresh) Register(h, handles);
+  AutoValidate("InsertBatchBefore");
   return Status::OK();
 }
 
@@ -112,6 +125,7 @@ Status LTreeStore::PushBackBatch(std::span<const LeafCookie> cookies,
   std::vector<LTree::LeafHandle> fresh;
   LTREE_RETURN_IF_ERROR(tree_->PushBackBatch(cookies, &fresh));
   for (LTree::LeafHandle h : fresh) Register(h, handles);
+  AutoValidate("PushBackBatch");
   return Status::OK();
 }
 
@@ -122,6 +136,7 @@ Status LTreeStore::Erase(ItemHandle h) {
   }
   LTREE_RETURN_IF_ERROR(tree_->MarkDeleted(leaves_[h]));
   erased_[h] = true;
+  AutoValidate("Erase");
   return Status::OK();
 }
 
@@ -153,6 +168,51 @@ const MaintStats& LTreeStore::stats() const {
 void LTreeStore::ResetStats() {
   tree_->ResetStats();
   stats_ = MaintStats();
+}
+
+audit::Report LTreeStore::Validate() const {
+  audit::Report report;
+  audit::AuditLTree(*tree_, &report);
+  // Handle map vs. the tree: collect the live leaves by traversal, then
+  // check the non-erased handles map onto them one-to-one. leaves_[h] must
+  // never be dereferenced for an erased handle — a purge may have freed it.
+  std::unordered_map<const Node*, uint64_t> live_leaf_count;
+  for (LTree::LeafHandle leaf = tree_->FirstLiveLeaf(); leaf != nullptr;
+       leaf = tree_->NextLiveLeaf(leaf)) {
+    ++live_leaf_count[leaf];
+  }
+  uint64_t live_handles = 0;
+  for (ItemHandle h = 0; h < leaves_.size(); ++h) {
+    const std::string path = "store:/" + std::to_string(h);
+    if (erased_[h]) {
+      // Without purging the tombstoned leaf must still be present.
+      if (!tree_->params().purge_tombstones_on_split &&
+          !tree_->deleted(leaves_[h])) {
+        report.Add(path, "handle-map",
+                   "erased handle points at a non-tombstoned leaf");
+      }
+      continue;
+    }
+    ++live_handles;
+    auto it = live_leaf_count.find(leaves_[h]);
+    if (it == live_leaf_count.end()) {
+      report.Add(path, "handle-map",
+                 "live handle does not resolve to a live leaf");
+    } else if (it->second == 0) {
+      report.Add(path, "handle-map",
+                 "two live handles resolve to the same leaf");
+    } else {
+      --it->second;
+    }
+  }
+  if (live_handles != tree_->num_live_leaves()) {
+    report.Add("store:/", "live-count",
+               StrFormat("%llu live handles vs %llu live leaves",
+                         static_cast<unsigned long long>(live_handles),
+                         static_cast<unsigned long long>(
+                             tree_->num_live_leaves())));
+  }
+  return report;
 }
 
 // ---------------------------------------------------------------------------
@@ -227,6 +287,7 @@ Status VirtualLTreeStore::RunBatch(std::span<const LeafCookie> cookies,
     label_of_[first + i] = labels[i];
     if (handles != nullptr) handles->push_back(first + i);
   }
+  AutoValidate("batch mutation");
   return Status::OK();
 }
 
@@ -239,6 +300,7 @@ Result<ItemHandle> VirtualLTreeStore::RunSingle(LeafCookie cookie, Op&& op) {
     return fresh.status();
   }
   label_of_[h] = *fresh;
+  AutoValidate("insert");
   return h;
 }
 
@@ -303,6 +365,7 @@ Status VirtualLTreeStore::Erase(ItemHandle h) {
   }
   LTREE_RETURN_IF_ERROR(tree_->MarkDeleted(label_of_[h]));
   erased_[h] = true;
+  AutoValidate("Erase");
   return Status::OK();
 }
 
@@ -334,6 +397,48 @@ const MaintStats& VirtualLTreeStore::stats() const {
 void VirtualLTreeStore::ResetStats() {
   tree_->ResetStats();
   stats_ = MaintStats();
+}
+
+audit::Report VirtualLTreeStore::Validate() const {
+  audit::Report report;
+  tree_->Audit(&report);
+  // Cookie <-> label bijection: the tree's leaf cookies are our handles,
+  // so every non-erased handle's recorded label must exist in the B+-tree,
+  // carry that handle as its cookie, and be live. Together with the live
+  // counts agreeing this makes handle -> label a bijection onto the live
+  // labels.
+  uint64_t live_handles = 0;
+  for (ItemHandle h = 0; h < label_of_.size(); ++h) {
+    if (erased_[h]) continue;
+    ++live_handles;
+    const std::string path = "store:/" + std::to_string(h);
+    auto cookie = tree_->GetCookie(label_of_[h]);
+    if (!cookie.ok()) {
+      report.Add(path, "cookie-label-bijection",
+                 StrFormat("handle's label %llu is missing from the tree",
+                           static_cast<unsigned long long>(label_of_[h])));
+      continue;
+    }
+    if (*cookie != h) {
+      report.Add(path, "cookie-label-bijection",
+                 StrFormat("label %llu maps back to handle %llu",
+                           static_cast<unsigned long long>(label_of_[h]),
+                           static_cast<unsigned long long>(*cookie)));
+    }
+    auto deleted = tree_->IsDeleted(label_of_[h]);
+    if (deleted.ok() && *deleted) {
+      report.Add(path, "cookie-label-bijection",
+                 "live handle's label is tombstoned in the tree");
+    }
+  }
+  if (live_handles != tree_->num_live_leaves()) {
+    report.Add("store:/", "live-count",
+               StrFormat("%llu live handles vs %llu live leaves",
+                         static_cast<unsigned long long>(live_handles),
+                         static_cast<unsigned long long>(
+                             tree_->num_live_leaves())));
+  }
+  return report;
 }
 
 }  // namespace listlab

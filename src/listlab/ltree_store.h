@@ -48,7 +48,12 @@ class LTreeStore : public LabelStore, private RelabelListener {
   std::vector<Label> Labels() const override { return tree_->LiveLabels(); }
   const MaintStats& stats() const override;
   void ResetStats() override;
-  Status CheckInvariants() const override { return tree_->CheckInvariants(); }
+
+  /// Deep validator: audits the wrapped L-Tree (audit::AuditLTree), then
+  /// the handle map — every non-erased handle must resolve to a distinct
+  /// live leaf and every live leaf must be reachable through exactly one
+  /// handle; without purging, erased handles must point at tombstones.
+  audit::Report Validate() const override;
 
   /// The wrapped tree (read-only; for L-Tree-specific stats in benches).
   const LTree& tree() const { return *tree_; }
@@ -104,7 +109,12 @@ class VirtualLTreeStore : public LabelStore, private RelabelListener {
   std::vector<Label> Labels() const override { return tree_->LiveLabels(); }
   const MaintStats& stats() const override;
   void ResetStats() override;
-  Status CheckInvariants() const override { return tree_->CheckInvariants(); }
+
+  /// Deep validator: audits the wrapped virtual tree (and its backing
+  /// counted B+-tree), then the cookie <-> label bijection — every
+  /// non-erased handle's label must exist in the B+-tree, map back to that
+  /// handle, and be live; handle and tree live counts must agree.
+  audit::Report Validate() const override;
 
   const VirtualLTree& tree() const { return *tree_; }
 

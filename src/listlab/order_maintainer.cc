@@ -2,6 +2,11 @@
 
 #include <numeric>
 
+#ifdef LISTLAB_VALIDATE
+#include <cstdlib>
+#include <iostream>
+#endif
+
 #include "common/macros.h"
 #include "common/string_util.h"
 
@@ -37,6 +42,17 @@ std::string MaintStats::ToString() const {
       static_cast<unsigned long long>(nodes_reused),
       static_cast<unsigned long long>(nodes_released), RelabelsPerInsert());
 }
+
+#ifdef LISTLAB_VALIDATE
+void LabelStore::AutoValidate(const char* op) const {
+  const audit::Report report = Validate();
+  if (report.ok()) return;
+  std::cerr << "LISTLAB_VALIDATE: " << name() << " corrupted after " << op
+            << ":\n"
+            << report.ToString() << "\n";
+  std::abort();
+}
+#endif
 
 Status LabelStore::BulkLoad(uint64_t n, std::vector<ItemHandle>* handles) {
   std::vector<LeafCookie> cookies(n);

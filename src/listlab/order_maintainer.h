@@ -55,6 +55,7 @@
 #include "common/status.h"
 #include "core/params.h"
 #include "core/relabel_listener.h"
+#include "core/validate.h"
 
 namespace ltree {
 namespace listlab {
@@ -199,10 +200,26 @@ class LabelStore {
   virtual const MaintStats& stats() const = 0;
   virtual void ResetStats() = 0;
 
-  /// Structural self-check for tests.
-  virtual Status CheckInvariants() const = 0;
+  /// Scheme-generic deep validator: audits the backing structure (L-Tree
+  /// shape and labels, counted B+-tree, linked-list links) plus the
+  /// store's own handle bookkeeping, reporting every violation instead of
+  /// stopping at the first. Clean after every public call on every scheme.
+  virtual audit::Report Validate() const = 0;
+
+  /// Legacy first-violation form: OK, or Corruption carrying the first
+  /// Validate() finding.
+  Status CheckInvariants() const { return Validate().ToStatus(); }
 
  protected:
+#ifdef LISTLAB_VALIDATE
+  /// Runs Validate() and aborts with the full report when it is not clean.
+  /// Every scheme calls this after each mutating call; the call compiles
+  /// to nothing unless the LISTLAB_VALIDATE CMake option is ON.
+  void AutoValidate(const char* op) const;
+#else
+  void AutoValidate(const char* /*op*/) const {}
+#endif
+
   RelabelListener* listener_ = nullptr;
 };
 

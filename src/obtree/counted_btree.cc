@@ -887,60 +887,111 @@ Status CountedBTree::ReplaceRange(Label lo, Label hi,
 
 namespace {
 
-Status CheckNode(const Node* n, uint32_t order, bool is_root, int depth,
-                 int* leaf_depth) {
+void AuditNode(const Node* n, uint32_t order, bool is_root, int depth,
+               int* leaf_depth, const std::string& path,
+               audit::Report* report) {
   const size_t sz = n->leaf ? n->keys.size() : n->children.size();
-  if (sz > order) return Status::Corruption("node over capacity");
+  if (sz > order) {
+    report->Add(path, "occupancy",
+                StrFormat("node holds %zu slots, order is %u", sz, order));
+  }
   if (!is_root && sz < order / 2) {
-    return Status::Corruption("node under minimum occupancy");
+    report->Add(path, "occupancy",
+                StrFormat("node holds %zu slots, minimum is %u", sz,
+                          order / 2));
   }
   if (n->leaf) {
     if (n->count != n->keys.size()) {
-      return Status::Corruption("leaf count mismatch");
+      report->Add(path, "count-sum",
+                  StrFormat("leaf count %llu != %zu keys",
+                            static_cast<unsigned long long>(n->count),
+                            n->keys.size()));
     }
     if (n->keys.size() != n->values.size()) {
-      return Status::Corruption("leaf keys/values size mismatch");
-    }
-    if (!std::is_sorted(n->keys.begin(), n->keys.end())) {
-      return Status::Corruption("leaf keys not sorted");
+      report->Add(path, "key-value-pairing",
+                  StrFormat("%zu keys vs %zu values", n->keys.size(),
+                            n->values.size()));
     }
     for (size_t i = 1; i < n->keys.size(); ++i) {
-      if (n->keys[i - 1] == n->keys[i]) {
-        return Status::Corruption("duplicate key");
+      if (n->keys[i - 1] >= n->keys[i]) {
+        report->Add(path, "key-order",
+                    StrFormat("keys[%zu]=%llu not above keys[%zu]=%llu", i,
+                              static_cast<unsigned long long>(n->keys[i]),
+                              i - 1,
+                              static_cast<unsigned long long>(
+                                  n->keys[i - 1])));
       }
     }
     if (*leaf_depth == -1) {
       *leaf_depth = depth;
     } else if (*leaf_depth != depth) {
-      return Status::Corruption("leaves at different depths");
+      report->Add(path, "leaf-depth",
+                  StrFormat("leaf at depth %d, first leaf at depth %d",
+                            depth, *leaf_depth));
     }
-    return Status::OK();
+    return;
   }
   if (is_root && n->children.size() < 2) {
-    return Status::Corruption("internal root with < 2 children");
+    report->Add(path, "root-fanout", "internal root with < 2 children");
   }
   if (n->keys.size() + 1 != n->children.size()) {
-    return Status::Corruption("separator/child count mismatch");
+    report->Add(path, "separator",
+                StrFormat("%zu separators for %zu children", n->keys.size(),
+                          n->children.size()));
+    return;  // child walk below indexes keys[i-1]; bail on this subtree
   }
   uint64_t total = 0;
   for (size_t i = 0; i < n->children.size(); ++i) {
-    LTREE_RETURN_IF_ERROR(
-        CheckNode(n->children[i], order, false, depth + 1, leaf_depth));
+    const std::string child_path = (path.back() == '/' ? path : path + "/") +
+                                   std::to_string(i);
+    if (n->children[i] == nullptr) {
+      report->Add(child_path, "null-child", "null child pointer");
+      continue;
+    }
+    AuditNode(n->children[i], order, false, depth + 1, leaf_depth,
+              child_path, report);
     total += n->children[i]->count;
     if (i > 0 && n->keys[i - 1] != MinKey(n->children[i])) {
-      return Status::Corruption("separator != min key of right child");
+      report->Add(
+          path, "separator",
+          StrFormat("separator %llu != min key %llu of child %zu",
+                    static_cast<unsigned long long>(n->keys[i - 1]),
+                    static_cast<unsigned long long>(MinKey(n->children[i])),
+                    i));
     }
   }
-  if (total != n->count) return Status::Corruption("internal count mismatch");
-  return Status::OK();
+  if (total != n->count) {
+    report->Add(path, "count-sum",
+                StrFormat("internal count %llu != children sum %llu",
+                          static_cast<unsigned long long>(n->count),
+                          static_cast<unsigned long long>(total)));
+  }
 }
 
 }  // namespace
 
+void CountedBTree::Audit(audit::Report* report) const {
+  if (root_ != nullptr) {
+    int leaf_depth = -1;
+    AuditNode(root_, order_, true, 0, &leaf_depth, "btree:/", report);
+  }
+  // Arena conservation: at every quiescent point the pool's live counter
+  // must equal the number of nodes reachable from the root.
+  const uint64_t reachable = NodeCount();
+  if (arena_stats().live() != reachable) {
+    report->Add("btree:/", "arena-conservation",
+                StrFormat("%llu nodes reachable but the pool accounts %llu "
+                          "live",
+                          static_cast<unsigned long long>(reachable),
+                          static_cast<unsigned long long>(
+                              arena_stats().live())));
+  }
+}
+
 Status CountedBTree::CheckInvariants() const {
-  if (root_ == nullptr) return Status::OK();
-  int leaf_depth = -1;
-  return CheckNode(root_, order_, true, 0, &leaf_depth);
+  audit::Report report;
+  Audit(&report);
+  return report.ToStatus();
 }
 
 // --------------------------------------------------------------------------

@@ -24,6 +24,7 @@
 #include "common/status.h"
 #include "core/params.h"
 #include "core/pool_arena.h"
+#include "core/validate.h"
 
 namespace ltree {
 namespace obtree {
@@ -131,8 +132,14 @@ class CountedBTree {
   /// Iterator at the smallest key >= `key`.
   Iterator Seek(Label key) const;
 
+  /// Deep validator: appends every violated structural rule (occupancy,
+  /// key ordering, separator and count consistency, uniform leaf depth,
+  /// arena conservation live() == NodeCount()) to `report` with
+  /// "btree:"-prefixed node paths.
+  void Audit(audit::Report* report) const;
+
   /// Validates structural invariants (occupancy, key ordering, counts,
-  /// uniform leaf depth).
+  /// uniform leaf depth); the first Audit() violation as a Status.
   Status CheckInvariants() const;
 
   uint32_t order() const { return order_; }

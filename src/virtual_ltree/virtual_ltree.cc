@@ -575,28 +575,45 @@ struct IntervalFrame {
 };
 }  // namespace
 
-Status VirtualLTree::CheckInvariants() const {
-  if (btree_.size() == 0) return Status::OK();
-  LTREE_RETURN_IF_ERROR(btree_.CheckInvariants());
+void VirtualLTree::Audit(audit::Report* report) const {
+  btree_.Audit(report);
+  // Tombstone accounting: live counter vs. the actual non-deleted entries.
+  uint64_t live = 0;
+  for (const obtree::Entry& e : btree_.ScanAll()) {
+    if (!UnpackDeleted(e.value)) ++live;
+  }
+  if (live != live_leaves_) {
+    report->Add("virtual:/", "live-count",
+                StrFormat("num_live_leaves() %llu != actual live slots %llu",
+                          static_cast<unsigned long long>(live_leaves_),
+                          static_cast<unsigned long long>(live)));
+  }
+  if (btree_.size() == 0) return;
   // Every label fits the current label space.
   auto last = btree_.Predecessor(std::numeric_limits<Label>::max());
   if (last.ok() && last->key >= label_space()) {
-    return Status::Corruption("label outside the current label space");
+    report->Add("virtual:/", "label-space",
+                StrFormat("label %llu outside the current label space %llu",
+                          static_cast<unsigned long long>(last->key),
+                          static_cast<unsigned long long>(label_space())));
   }
   std::vector<IntervalFrame> stack{{0, height_}};
   while (!stack.empty()) {
     const IntervalFrame frame = stack.back();
     stack.pop_back();
+    const std::string path =
+        StrFormat("virtual:/h%u@%llu", frame.height,
+                  static_cast<unsigned long long>(frame.base));
     const uint64_t width = powers_.PowF1(frame.height);
     const uint64_t count = btree_.RangeCount(frame.base, frame.base + width);
     if (count == 0) continue;
     if (frame.height == 0) continue;  // single slot
     if (count >= powers_.LeafBudget(frame.height)) {
-      return Status::Corruption(StrFormat(
-          "virtual node at height %u holds %llu >= budget %llu",
-          frame.height, static_cast<unsigned long long>(count),
-          static_cast<unsigned long long>(
-              powers_.LeafBudget(frame.height))));
+      report->Add(path, "leaf-budget",
+                  StrFormat("virtual node holds %llu >= budget %llu",
+                            static_cast<unsigned long long>(count),
+                            static_cast<unsigned long long>(
+                                powers_.LeafBudget(frame.height))));
     }
     // Occupied child digits must form a consecutive prefix 0..c-1.
     const uint64_t child_width = powers_.PowF1(frame.height - 1);
@@ -610,14 +627,20 @@ Status VirtualLTree::CheckInvariants() const {
         continue;
       }
       if (gap_seen) {
-        return Status::Corruption(StrFormat(
-            "non-consecutive child digits under base %llu height %u",
-            static_cast<unsigned long long>(frame.base), frame.height));
+        report->Add(path, "child-gap",
+                    StrFormat("occupied child digit %llu follows an empty "
+                              "one",
+                              static_cast<unsigned long long>(g)));
       }
       stack.push_back({child_base, frame.height - 1});
     }
   }
-  return Status::OK();
+}
+
+Status VirtualLTree::CheckInvariants() const {
+  audit::Report report;
+  Audit(&report);
+  return report.ToStatus();
 }
 
 }  // namespace ltree

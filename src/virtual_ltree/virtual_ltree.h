@@ -31,6 +31,7 @@
 #include "common/status.h"
 #include "core/ltree.h"
 #include "core/params.h"
+#include "core/validate.h"
 #include "obtree/counted_btree.h"
 
 namespace ltree {
@@ -155,8 +156,15 @@ class VirtualLTree {
   /// space-trade-off bench).
   uint64_t ApproxMemoryBytes() const;
 
+  /// Deep validator: audits the backing counted B+-tree, then the virtual
+  /// structure — label-space bounds, consecutive child digits within every
+  /// occupied interval, leaf budgets, and tombstone accounting against
+  /// num_live_leaves(). Appends every violation to `report`.
+  void Audit(audit::Report* report) const;
+
   /// Validates the virtual structure: digit bounds, consecutive child
-  /// indices within every occupied interval, and leaf budgets.
+  /// indices within every occupied interval, and leaf budgets; the first
+  /// Audit() violation as a Status.
   Status CheckInvariants() const;
 
  private:

@@ -1,6 +1,7 @@
 #include "xml/xml_node.h"
 
 #include "common/macros.h"
+#include "common/string_util.h"
 
 namespace ltree {
 namespace xml {
@@ -231,46 +232,68 @@ std::vector<TagEntry> Document::TagStream() const {
   return out;
 }
 
-Status Document::CheckInvariants() const {
+void Document::Audit(audit::Report* report) const {
   uint64_t visited = 0;
-  Status status = Status::OK();
   if (root_ != nullptr) {
     if (root_->parent != nullptr) {
-      return Status::Corruption("root has a parent");
+      report->Add("doc:/", "root-parent", "root has a parent");
     }
-    std::vector<const Node*> stack{root_};
-    while (!stack.empty() && status.ok()) {
-      const Node* n = stack.back();
+    struct Frame {
+      const Node* node;
+      std::string path;
+    };
+    std::vector<Frame> stack{{root_, "doc:/"}};
+    while (!stack.empty()) {
+      const Frame frame = stack.back();
+      const Node* n = frame.node;
       stack.pop_back();
       ++visited;
       if (n->IsText() && n->first_child != nullptr) {
-        status = Status::Corruption("text node with children");
-        break;
+        report->Add(frame.path, "text-childless", "text node with children");
+        continue;
       }
       const Node* prev = nullptr;
+      uint32_t idx = 0;
+      bool links_ok = true;
       for (const Node* c = n->first_child; c != nullptr;
-           c = c->next_sibling) {
+           c = c->next_sibling, ++idx) {
+        const std::string child_path =
+            (frame.path.back() == '/' ? frame.path : frame.path + "/") +
+            std::to_string(idx);
         if (c->parent != n) {
-          status = Status::Corruption("child parent pointer mismatch");
+          report->Add(child_path, "parent-link",
+                      "child's parent pointer does not point at the actual "
+                      "parent");
+          links_ok = false;
           break;
         }
         if (c->prev_sibling != prev) {
-          status = Status::Corruption("sibling links broken");
+          report->Add(child_path, "sibling-link",
+                      "prev_sibling does not point at the previous child");
+          links_ok = false;
           break;
         }
         prev = c;
-        stack.push_back(c);
+        stack.push_back({c, child_path});
       }
-      if (status.ok() && n->last_child != prev) {
-        status = Status::Corruption("last_child mismatch");
+      if (links_ok && n->last_child != prev) {
+        report->Add(frame.path, "sibling-link",
+                    "last_child does not point at the final child");
       }
     }
   }
-  LTREE_RETURN_IF_ERROR(status);
   if (visited > live_nodes_) {
-    return Status::Corruption("more attached nodes than live nodes");
+    report->Add("doc:/", "live-count",
+                StrFormat("%llu attached nodes exceed %llu live nodes",
+                          static_cast<unsigned long long>(visited),
+                          static_cast<unsigned long long>(live_nodes_)));
   }
-  return Status::OK();
+}
+
+Status Document::CheckInvariants() const {
+  audit::Report report;
+  Audit(&report);
+  return report.ToStatus();
 }
 
 }  // namespace xml

@@ -19,6 +19,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "core/validate.h"
 
 namespace ltree {
 namespace xml {
@@ -113,7 +114,13 @@ class Document {
   /// Document-order tag stream of the attached tree (Section 2).
   std::vector<TagEntry> TagStream() const;
 
-  /// Structural checks: link symmetry, ownership, single root.
+  /// Deep validator: appends every broken structural rule (link symmetry,
+  /// single root, text-node leaf-ness, live-node accounting) to `report`
+  /// with "doc:"-prefixed node paths.
+  void Audit(audit::Report* report) const;
+
+  /// Structural checks: link symmetry, ownership, single root; the first
+  /// Audit() violation as a Status.
   Status CheckInvariants() const;
 
  private:

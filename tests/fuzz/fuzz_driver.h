@@ -1,0 +1,97 @@
+// Standalone driver for the differential fuzz harnesses.
+//
+// Each harness defines the libFuzzer entry point
+//   extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+// When the toolchain is Clang, CMake adds -fsanitize=fuzzer and defines
+// LTREE_FUZZ_LIBFUZZER, so libFuzzer supplies main() and drives coverage-
+// guided mutation. Everywhere else (this container only ships g++, which
+// has no libFuzzer runtime) this header supplies a main() that replays
+// inputs deterministically:
+//
+//   fuzz_x seed_file_or_dir...   — replay each corpus input once
+//   fuzz_x --rounds N [seeds...] — additionally run N pseudo-random inputs
+//                                  from a fixed-seed xorshift generator
+//
+// The same binary therefore works as a CTest smoke gate (replay the seed
+// corpus + a few hundred random inputs) and as the CI fuzzing entry point.
+
+#ifndef LTREE_TESTS_FUZZ_FUZZ_DRIVER_H_
+#define LTREE_TESTS_FUZZ_FUZZ_DRIVER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+#ifndef LTREE_FUZZ_LIBFUZZER
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace ltree_fuzz {
+
+inline std::vector<uint8_t> ReadFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>());
+}
+
+inline int ReplayPath(const std::filesystem::path& path) {
+  int replayed = 0;
+  if (std::filesystem::is_directory(path)) {
+    for (const auto& entry : std::filesystem::directory_iterator(path)) {
+      if (!entry.is_regular_file()) continue;
+      const std::vector<uint8_t> bytes = ReadFile(entry.path());
+      LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+      ++replayed;
+    }
+    return replayed;
+  }
+  const std::vector<uint8_t> bytes = ReadFile(path);
+  LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+  return 1;
+}
+
+}  // namespace ltree_fuzz
+
+int main(int argc, char** argv) {
+  uint64_t rounds = 0;
+  int replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--rounds") == 0 && i + 1 < argc) {
+      rounds = std::strtoull(argv[++i], nullptr, 10);
+      continue;
+    }
+    replayed += ltree_fuzz::ReplayPath(argv[i]);
+  }
+  // Fixed-seed xorshift64* stream: deterministic, so a CTest failure is
+  // reproducible by rerunning the same binary.
+  uint64_t state = 0x9e3779b97f4a7c15ull;
+  std::vector<uint8_t> input;
+  for (uint64_t r = 0; r < rounds; ++r) {
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    const size_t len = static_cast<size_t>((state * 0x2545f4914f6cdd1dull) %
+                                           512);
+    input.resize(len);
+    for (size_t i = 0; i < len; ++i) {
+      state ^= state >> 12;
+      state ^= state << 25;
+      state ^= state >> 27;
+      input[i] = static_cast<uint8_t>(state * 0x2545f4914f6cdd1dull >> 56);
+    }
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+  }
+  std::printf("replayed %d corpus input(s), %llu random round(s): OK\n",
+              replayed, static_cast<unsigned long long>(rounds));
+  return 0;
+}
+
+#endif  // !LTREE_FUZZ_LIBFUZZER
+#endif  // LTREE_TESTS_FUZZ_FUZZ_DRIVER_H_
