@@ -1,0 +1,194 @@
+// Sharded DocumentStore: throughput, feed lag, and catch-up cost.
+//
+// The paper's single-document scenario scales out as many documents
+// hash-sharded over independent L-Trees (src/store/). This bench sweeps
+// shard count x document skew and measures, per cell, on the identical
+// multi-session op stream:
+//
+//   * edit throughput (ops/s) with the per-shard change-feeds attached —
+//     the feed tap is on the mutation path, so this is the subsystem's
+//     end-to-end cost, not the bare scheme's;
+//   * feed lag: the max state-vector lag a periodically-syncing mirror
+//     accumulates between rounds, and the total sync time it spends;
+//   * catch-up cost: wall time for a cold mirror (empty state vector) to
+//     reconverge in one round — the snapshot path under skew;
+//   * per-shard balance and memory: live-item imbalance (max/mean) and
+//     summed ApproxHeapBytes, showing what Zipf document skew does to a
+//     hash-sharded layout;
+//   * fidelity: every cell asserts mirror equivalence (per-shard label
+//     order + cookie sequences) for both the periodic and the cold mirror.
+//
+// Usage:   bench_docstore [ops] [json_path]
+//
+// Sweeps shards {1, 4, 16} x zipf theta {0.0, 1.1} (6 cells) and dumps
+// machine-readable BENCH_docstore.json (bench::JsonWriter shape) so CI can
+// track the sharding trajectory run over run.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "store/document_store.h"
+#include "store/mirror_store.h"
+
+using namespace ltree;
+
+namespace {
+
+constexpr uint64_t kDocs = 64;
+constexpr uint32_t kSessions = 4;
+constexpr uint64_t kFeedCapacity = 4096;
+constexpr int kSyncEvery = 500;
+
+struct CellResult {
+  double wall_ms = 0.0;
+  double ops_per_sec = 0.0;
+  uint64_t feed_events = 0;
+  uint64_t max_lag = 0;
+  double sync_ms = 0.0;
+  uint64_t delta_events = 0;
+  uint64_t snapshots = 0;
+  double catchup_ms = 0.0;
+  uint64_t catchup_snapshots = 0;
+  uint64_t live_items = 0;
+  uint64_t max_shard_items = 0;
+  double imbalance = 0.0;
+  double heap_mb = 0.0;
+  bool labels_equal = false;
+};
+
+CellResult RunCell(uint32_t shards, double theta, uint64_t ops) {
+  CellResult out;
+  auto store = store::DocumentStore::Make({.num_shards = shards,
+                                           .scheme_spec = "ltree:16:4",
+                                           .feed_capacity = kFeedCapacity})
+                   .ValueOrDie();
+  for (store::DocId doc = 0; doc < kDocs; ++doc) {
+    LTREE_CHECK_OK(store->CreateDocument(doc));
+  }
+  workload::MultiSessionStream sessions(
+      {.num_docs = kDocs,
+       .num_sessions = kSessions,
+       .doc_zipf_theta = theta,
+       .session_stream = {.kind = workload::StreamKind::kMixed,
+                          .erase_fraction = 0.25,
+                          .seed = 97}});
+  store::MirrorStore mirror(shards);
+
+  double edit_seconds = 0.0;
+  double sync_seconds = 0.0;
+  for (uint64_t i = 0; i < ops; ++i) {
+    const workload::DocOp op = sessions.Next(
+        [&](uint64_t doc) { return store->DocSize(doc).ValueOrDie(); });
+    Timer edit;
+    LTREE_CHECK_OK(store->Apply(op.doc, op.op));
+    edit_seconds += edit.ElapsedSeconds();
+    if ((i + 1) % kSyncEvery == 0) {
+      out.max_lag = std::max(
+          out.max_lag,
+          mirror.state_vector().LagBehind(store->CurrentStateVector()));
+      Timer sync;
+      LTREE_CHECK_OK(mirror.Sync(*store));
+      sync_seconds += sync.ElapsedSeconds();
+      LTREE_CHECK_OK(mirror.CheckEquivalent(*store));
+    }
+  }
+  out.wall_ms = edit_seconds * 1e3;
+  out.ops_per_sec =
+      edit_seconds > 0.0 ? static_cast<double>(ops) / edit_seconds : 0.0;
+  out.sync_ms = sync_seconds * 1e3;
+  out.delta_events = mirror.events_applied();
+  out.snapshots = mirror.snapshot_syncs();
+
+  // Cold mirror: one round from an empty state vector. With feeds shorter
+  // than the edit history this exercises the snapshot path per shard.
+  store::MirrorStore cold(shards);
+  Timer catchup;
+  LTREE_CHECK_OK(cold.Sync(*store));
+  out.catchup_ms = catchup.ElapsedMillis();
+  out.catchup_snapshots = cold.snapshot_syncs();
+  LTREE_CHECK_OK(mirror.Sync(*store));
+  out.labels_equal =
+      cold.CheckEquivalent(*store).ok() && mirror.CheckEquivalent(*store).ok();
+
+  const store::StoreStats stats = store->stats();
+  out.feed_events = stats.feed_events;
+  out.live_items = stats.live_items;
+  for (const uint64_t items : stats.per_shard_items) {
+    out.max_shard_items = std::max(out.max_shard_items, items);
+  }
+  const double mean = static_cast<double>(stats.live_items) /
+                      static_cast<double>(shards);
+  out.imbalance =
+      mean > 0.0 ? static_cast<double>(out.max_shard_items) / mean : 0.0;
+  out.heap_mb = static_cast<double>(stats.heap_bytes) / 1e6;
+  LTREE_CHECK_OK(store->CheckInvariants());
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const uint64_t ops =
+      argc > 1 ? static_cast<uint64_t>(std::atoll(argv[1])) : 20000;
+  const std::string json_path = argc > 2 ? argv[2] : "BENCH_docstore.json";
+
+  bench::PrintHeader(
+      "Sharded DocumentStore: shards x document skew",
+      "Per-shard change-feeds ride the mutation path; a state-vector mirror "
+      "stays equivalent via deltas, or snapshots once feeds trim.");
+
+  bench::JsonWriter json("docstore");
+  json.Field("docs", kDocs)
+      .Field("sessions", static_cast<uint64_t>(kSessions))
+      .Field("feed_capacity", kFeedCapacity)
+      .Field("sync_every", static_cast<uint64_t>(kSyncEvery))
+      .Field("scheme", std::string("ltree:16:4"));
+
+  std::printf(
+      "%7s %6s %9s %12s %9s %9s %10s %6s %10s %9s %6s\n", "shards", "theta",
+      "ops", "ops/s", "max_lag", "sync_ms", "catchup_ms", "snaps",
+      "imbalance", "heap_mb", "equal");
+  for (const uint32_t shards : {1u, 4u, 16u}) {
+    for (const double theta : {0.0, 1.1}) {
+      const CellResult r = RunCell(shards, theta, ops);
+      std::printf(
+          "%7u %6.1f %9llu %12.0f %9llu %9.2f %10.2f %6llu %10.2f %9.3f "
+          "%6s\n",
+          shards, theta, static_cast<unsigned long long>(ops), r.ops_per_sec,
+          static_cast<unsigned long long>(r.max_lag), r.sync_ms, r.catchup_ms,
+          static_cast<unsigned long long>(r.catchup_snapshots), r.imbalance,
+          r.heap_mb, r.labels_equal ? "yes" : "NO");
+      LTREE_CHECK(r.labels_equal);
+      json.BeginRecord()
+          .Field("shards", static_cast<uint64_t>(shards))
+          .Field("theta", theta)
+          .Field("ops", ops)
+          .Field("wall_ms", r.wall_ms)
+          .Field("ops_per_sec", r.ops_per_sec)
+          .Field("feed_events", r.feed_events)
+          .Field("max_lag", r.max_lag)
+          .Field("sync_ms", r.sync_ms)
+          .Field("delta_events", r.delta_events)
+          .Field("snapshots", r.snapshots)
+          .Field("catchup_ms", r.catchup_ms)
+          .Field("catchup_snapshots", r.catchup_snapshots)
+          .Field("live_items", r.live_items)
+          .Field("max_shard_items", r.max_shard_items)
+          .Field("imbalance", r.imbalance)
+          .Field("heap_mb", r.heap_mb)
+          .Field("labels_equal", static_cast<uint64_t>(r.labels_equal));
+    }
+  }
+  std::printf(
+      "\nHash routing keeps shard load near-uniform at theta 0; Zipf skew\n"
+      "concentrates edits but documents, not ops, decide placement, so\n"
+      "imbalance stays bounded by the hot documents' sizes.\n");
+
+  if (!json.WriteFile(json_path)) return 1;
+  return 0;
+}

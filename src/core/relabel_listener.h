@@ -1,8 +1,9 @@
-// Relabel notification hook, shared by every labeling scheme.
+// Label-change notification hook, shared by every labeling scheme.
 //
 // Lives apart from the L-Tree headers so that layers which only need the
-// callback (the LabelStore interface, the docstore) can depend on it
-// without pulling in the materialized tree's internal Node type.
+// callback (the LabelStore interface, the docstore, the sharded store's
+// change-feed taps) can depend on it without pulling in the materialized
+// tree's internal Node type.
 
 #ifndef LTREE_CORE_RELABEL_LISTENER_H_
 #define LTREE_CORE_RELABEL_LISTENER_H_
@@ -14,15 +15,31 @@ namespace ltree {
 /// Sentinel for "label not yet assigned".
 inline constexpr Label kInvalidLabel = ~Label{0};
 
-/// Callback fired for every existing leaf whose label changes during
-/// relabeling, so external indexes (e.g. the label column of a node table)
-/// can be kept in sync. Bulk loading assigns initial labels and does not
-/// fire the listener; incremental maintenance does.
+/// Callbacks fired by a labeling scheme as its label state evolves, so
+/// external indexes (the label column of a node table, a replication
+/// change-feed) can be kept in sync. Bulk loading assigns initial labels
+/// and does not fire the listener; incremental maintenance does.
 class RelabelListener {
  public:
   virtual ~RelabelListener() = default;
+
+  /// An existing item's label changed during relabeling. Never fired for
+  /// the item an insertion is currently adding (the caller knows its label
+  /// from the returned handle). Tombstoning schemes may fire this for
+  /// already erased items whose slots a rebuild shuffles — consumers that
+  /// only track live state must filter on their own liveness records.
   virtual void OnRelabel(LeafCookie cookie, Label old_label,
                          Label new_label) = 0;
+
+  /// An item left the order through LabelStore::Erase, with the label it
+  /// held at that moment. Default no-op so relabel-only consumers (the
+  /// docstore's node table) are unaffected; outward-facing consumers (the
+  /// sharded store's per-shard change-feeds) override it to version erase
+  /// events alongside relabels.
+  virtual void OnErase(LeafCookie cookie, Label last_label) {
+    (void)cookie;
+    (void)last_label;
+  }
 };
 
 }  // namespace ltree

@@ -67,5 +67,19 @@ Result<std::unique_ptr<LabelStore>> MakeLabelStore(const std::string& spec) {
   return Status::InvalidArgument("unknown labeling scheme spec: " + spec);
 }
 
+Result<std::vector<std::unique_ptr<LabelStore>>> MakeLabelStores(
+    const std::string& spec, size_t count) {
+  if (count == 0) {
+    return Status::InvalidArgument("sharded store needs at least one shard");
+  }
+  std::vector<std::unique_ptr<LabelStore>> stores;
+  stores.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    LTREE_ASSIGN_OR_RETURN(auto store, MakeLabelStore(spec));
+    stores.push_back(std::move(store));
+  }
+  return stores;
+}
+
 }  // namespace listlab
 }  // namespace ltree

@@ -6,6 +6,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "listlab/order_maintainer.h"
 
@@ -23,6 +24,12 @@ namespace listlab {
 ///   "virtual:<f>:<s>:purge"    ... with tombstone purging
 /// Constraints: s >= 2, s | f, f/s >= 2 (core/params.h).
 Result<std::unique_ptr<LabelStore>> MakeLabelStore(const std::string& spec);
+
+/// Builds `count` independent stores of the same spec — one per shard of a
+/// sharded store (each with its own arena and MaintStats). The spec is
+/// validated once; count must be >= 1.
+Result<std::vector<std::unique_ptr<LabelStore>>> MakeLabelStores(
+    const std::string& spec, size_t count);
 
 }  // namespace listlab
 }  // namespace ltree

@@ -131,6 +131,7 @@ Status LinkedListScheme::Erase(ItemHandle h) {
   Unlink(item);
   item->erased = true;
   ++stats_.erases;
+  if (listener_ != nullptr) listener_->OnErase(item->cookie, item->label);
   AutoValidate("Erase");
   return Status::OK();
 }

@@ -46,6 +46,12 @@ class LinkedListScheme : public LabelStore {
   Result<LeafCookie> GetCookie(ItemHandle h) const final;
   uint64_t size() const final { return live_; }
   uint32_t label_bits() const final;
+  uint64_t ApproxHeapBytes() const final {
+    // Estimated: one heap ListItem per handle ever issued (erased items
+    // are kept for FailedPrecondition detection) plus the handle table.
+    return items_.size() * sizeof(ListItem) +
+           items_.capacity() * sizeof(ListItem*);
+  }
   std::vector<Label> Labels() const final;
   const MaintStats& stats() const final { return stats_; }
   void ResetStats() final { stats_ = MaintStats(); }

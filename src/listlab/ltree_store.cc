@@ -134,8 +134,11 @@ Status LTreeStore::Erase(ItemHandle h) {
   if (erased_[h]) {
     return Status::FailedPrecondition("item handle already erased");
   }
+  const LeafCookie cookie = tree_->cookie(leaves_[h]);
+  const Label last_label = tree_->label(leaves_[h]);
   LTREE_RETURN_IF_ERROR(tree_->MarkDeleted(leaves_[h]));
   erased_[h] = true;
+  if (listener_ != nullptr) listener_->OnErase(cookie, last_label);
   AutoValidate("Erase");
   return Status::OK();
 }
@@ -365,6 +368,7 @@ Status VirtualLTreeStore::Erase(ItemHandle h) {
   }
   LTREE_RETURN_IF_ERROR(tree_->MarkDeleted(label_of_[h]));
   erased_[h] = true;
+  if (listener_ != nullptr) listener_->OnErase(cookie_of_[h], label_of_[h]);
   AutoValidate("Erase");
   return Status::OK();
 }

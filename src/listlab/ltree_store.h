@@ -45,6 +45,11 @@ class LTreeStore : public LabelStore, private RelabelListener {
   Result<LeafCookie> GetCookie(ItemHandle h) const override;
   uint64_t size() const override { return tree_->num_live_leaves(); }
   uint32_t label_bits() const override { return tree_->label_bits(); }
+  uint64_t ApproxHeapBytes() const override {
+    return tree_->ApproxHeapBytes() +
+           leaves_.capacity() * sizeof(LTree::LeafHandle) +
+           erased_.capacity() / 8;
+  }
   std::vector<Label> Labels() const override { return tree_->LiveLabels(); }
   const MaintStats& stats() const override;
   void ResetStats() override;
@@ -106,6 +111,10 @@ class VirtualLTreeStore : public LabelStore, private RelabelListener {
   Result<LeafCookie> GetCookie(ItemHandle h) const override;
   uint64_t size() const override { return tree_->num_live_leaves(); }
   uint32_t label_bits() const override { return tree_->label_bits(); }
+  uint64_t ApproxHeapBytes() const override {
+    return tree_->ApproxMemoryBytes() + label_of_.capacity() * sizeof(Label) +
+           cookie_of_.capacity() * sizeof(LeafCookie) + erased_.capacity() / 8;
+  }
   std::vector<Label> Labels() const override { return tree_->LiveLabels(); }
   const MaintStats& stats() const override;
   void ResetStats() override;

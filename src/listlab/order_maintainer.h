@@ -190,6 +190,12 @@ class LabelStore {
   /// Bits needed to encode the largest label the scheme currently uses.
   virtual uint32_t label_bits() const = 0;
 
+  /// Measured (L-Tree variants: arena chunks + node buffers, one policy
+  /// with CountedBTree::ApproxHeapBytes) or estimated (linked-list
+  /// schemes: item nodes + handle table) heap footprint in bytes. The
+  /// sharded DocumentStore reports this per shard.
+  virtual uint64_t ApproxHeapBytes() const = 0;
+
   /// Live labels in list order (for order-preservation checks).
   virtual std::vector<Label> Labels() const = 0;
 

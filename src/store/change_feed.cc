@@ -1,0 +1,94 @@
+#include "store/change_feed.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace ltree {
+namespace store {
+
+const char* FeedEventKindName(FeedEvent::Kind kind) {
+  switch (kind) {
+    case FeedEvent::Kind::kInsert:
+      return "insert";
+    case FeedEvent::Kind::kRelabel:
+      return "relabel";
+    case FeedEvent::Kind::kErase:
+      return "erase";
+  }
+  return "unknown";
+}
+
+std::string FeedEvent::ToString() const {
+  std::string out = "#" + std::to_string(seq) + " " + FeedEventKindName(kind) +
+                    " cookie=" + std::to_string(cookie);
+  if (old_label != kInvalidLabel) out += " old=" + std::to_string(old_label);
+  if (new_label != kInvalidLabel) out += " new=" + std::to_string(new_label);
+  return out;
+}
+
+ChangeFeed::ChangeFeed(uint64_t capacity) : capacity_(capacity) {
+  LTREE_CHECK(capacity >= 1);
+}
+
+uint64_t ChangeFeed::Append(FeedEvent event) {
+  event.seq = ++last_seq_;
+  events_.push_back(event);
+  if (events_.size() > capacity_) {
+    events_.pop_front();
+    ++trimmed_;
+  }
+  return last_seq_;
+}
+
+std::vector<FeedEvent> ChangeFeed::EventsSince(uint64_t from_seq) const {
+  LTREE_CHECK(CanServeFrom(from_seq));
+  std::vector<FeedEvent> out;
+  if (events_.empty() || from_seq >= last_seq_) return out;
+  // Retained seqs are contiguous, so the suffix starts at a computed
+  // offset instead of a scan.
+  const uint64_t first = events_.front().seq;
+  const size_t skip =
+      from_seq + 1 > first ? static_cast<size_t>(from_seq + 1 - first) : 0;
+  out.assign(events_.begin() + static_cast<ptrdiff_t>(skip), events_.end());
+  return out;
+}
+
+void ChangeFeed::TrimTo(uint64_t keep) {
+  while (events_.size() > keep) {
+    events_.pop_front();
+    ++trimmed_;
+  }
+}
+
+void ChangeFeed::Audit(audit::Report* report, const std::string& path) const {
+  if (events_.size() > capacity_) {
+    report->Add(path, "feed-continuity",
+                "retained " + std::to_string(events_.size()) +
+                    " events exceeds capacity " + std::to_string(capacity_));
+  }
+  if (trimmed_ + events_.size() != last_seq_) {
+    report->Add(path, "feed-continuity",
+                "trimmed (" + std::to_string(trimmed_) + ") + retained (" +
+                    std::to_string(events_.size()) + ") != last_seq (" +
+                    std::to_string(last_seq_) + ")");
+  }
+  if (!events_.empty() && events_.back().seq != last_seq_) {
+    report->Add(path, "feed-continuity",
+                "newest retained seq " + std::to_string(events_.back().seq) +
+                    " != last_seq " + std::to_string(last_seq_));
+  }
+  uint64_t expected = first_retained_seq();
+  for (const FeedEvent& event : events_) {
+    if (event.seq != expected) {
+      report->Add(path, "feed-continuity",
+                  "sequence gap: expected #" + std::to_string(expected) +
+                      ", found " + event.ToString());
+      expected = event.seq;  // resync so one gap reports once
+    }
+    ++expected;
+  }
+}
+
+}  // namespace store
+}  // namespace ltree

@@ -1,0 +1,36 @@
+#include "store/state_vector.h"
+
+#include "common/macros.h"
+
+namespace ltree {
+namespace store {
+
+bool StateVector::DominatedBy(const StateVector& other) const {
+  LTREE_CHECK(seqs_.size() == other.seqs_.size());
+  for (size_t i = 0; i < seqs_.size(); ++i) {
+    if (seqs_[i] > other.seqs_[i]) return false;
+  }
+  return true;
+}
+
+uint64_t StateVector::LagBehind(const StateVector& newer) const {
+  LTREE_CHECK(seqs_.size() == newer.seqs_.size());
+  uint64_t lag = 0;
+  for (size_t i = 0; i < seqs_.size(); ++i) {
+    if (newer.seqs_[i] > seqs_[i]) lag += newer.seqs_[i] - seqs_[i];
+  }
+  return lag;
+}
+
+std::string StateVector::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < seqs_.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += std::to_string(seqs_[i]);
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace store
+}  // namespace ltree

@@ -1,0 +1,66 @@
+// StateVector: a subscriber's compact per-shard sync position.
+//
+// The sharded DocumentStore versions every label event with a per-shard
+// monotonically increasing sequence number (see change_feed.h). A
+// subscriber summarizes everything it has applied as one vector
+// shard -> last-applied sequence number — the state-vector-sync pattern:
+// instead of replaying every event since the beginning of time, a lagging
+// subscriber presents this one compact vector and receives exactly the
+// missing suffix (or a snapshot once the log has been trimmed past its
+// position).
+
+#ifndef LTREE_STORE_STATE_VECTOR_H_
+#define LTREE_STORE_STATE_VECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ltree {
+namespace store {
+
+class StateVector {
+ public:
+  StateVector() = default;
+  explicit StateVector(uint32_t num_shards) : seqs_(num_shards, 0) {}
+
+  uint32_t num_shards() const { return static_cast<uint32_t>(seqs_.size()); }
+
+  /// Last applied sequence number for `shard`; 0 means "nothing applied"
+  /// (feed sequence numbers start at 1).
+  uint64_t seq(uint32_t shard) const { return seqs_[shard]; }
+
+  /// Moves `shard`'s position forward. Positions never move backward: a
+  /// regressing advance is ignored, keeping Sync idempotent.
+  void Advance(uint32_t shard, uint64_t seq) {
+    if (seq > seqs_[shard]) seqs_[shard] = seq;
+  }
+
+  /// Overwrites `shard`'s position, regressions included — only for
+  /// simulating stale subscribers (MirrorStore::ForcePosition); the normal
+  /// sync path goes through Advance.
+  void Set(uint32_t shard, uint64_t seq) { seqs_[shard] = seq; }
+
+  /// True iff this vector is pointwise <= `other` (this subscriber knows
+  /// nothing `other` doesn't).
+  bool DominatedBy(const StateVector& other) const;
+
+  /// Total events this vector is behind `newer` (pointwise sum of
+  /// positive differences) — the feed-lag metric.
+  uint64_t LagBehind(const StateVector& newer) const;
+
+  bool operator==(const StateVector& other) const {
+    return seqs_ == other.seqs_;
+  }
+
+  /// Compact rendering, e.g. "[17 0 4 9]".
+  std::string ToString() const;
+
+ private:
+  std::vector<uint64_t> seqs_;
+};
+
+}  // namespace store
+}  // namespace ltree
+
+#endif  // LTREE_STORE_STATE_VECTOR_H_

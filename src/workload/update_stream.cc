@@ -1,6 +1,7 @@
 #include "workload/update_stream.h"
 
 #include <algorithm>
+#include <numeric>
 
 #include "common/macros.h"
 
@@ -65,6 +66,30 @@ ListOp UpdateStream::Next(uint64_t live_size) {
       break;
   }
   return op;
+}
+
+MultiSessionStream::MultiSessionStream(const MultiSessionOptions& options)
+    : options_(options),
+      doc_rng_(SplitMix64(options.session_stream.seed).Next() ^
+               0x6d756c746973ull),
+      doc_zipf_(std::max<uint64_t>(options.num_docs, 1),
+                options.doc_zipf_theta),
+      doc_perm_(std::max<uint64_t>(options.num_docs, 1)) {
+  LTREE_CHECK(options.num_docs > 0);
+  LTREE_CHECK(options.num_sessions > 0);
+  std::iota(doc_perm_.begin(), doc_perm_.end(), 0);
+  doc_rng_.Shuffle(&doc_perm_);
+  sessions_.reserve(options.num_sessions);
+  for (uint32_t i = 0; i < options.num_sessions; ++i) {
+    StreamOptions per_session = options.session_stream;
+    // Decorrelate sessions; keep the run reproducible from the one seed.
+    per_session.seed = SplitMix64(options.session_stream.seed + i).Next();
+    sessions_.emplace_back(per_session);
+  }
+}
+
+uint64_t MultiSessionStream::PickDoc() {
+  return doc_perm_[doc_zipf_.Sample(&doc_rng_)];
 }
 
 }  // namespace workload

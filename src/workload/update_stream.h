@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/random.h"
 
@@ -53,6 +54,67 @@ class UpdateStream {
  private:
   StreamOptions options_;
   Rng rng_;
+};
+
+/// One document-addressed operation, as issued by a session.
+struct DocOp {
+  uint64_t doc = 0;      ///< document index in [0, num_docs)
+  uint32_t session = 0;  ///< issuing session
+  ListOp op;
+};
+
+struct MultiSessionOptions {
+  uint64_t num_docs = 64;
+  uint32_t num_sessions = 4;
+  /// Zipf skew of the document pick (0 = uniform, typical 0.9-1.2). Which
+  /// documents are hot is itself randomized: the Zipf ranks are laid over
+  /// a seed-shuffled permutation of the document indices, so hot documents
+  /// spread across shards instead of clustering at low ids.
+  double doc_zipf_theta = 0.99;
+  /// Per-session op mix. Each session derives its own rng seed from
+  /// `session_stream.seed`, so sessions are decorrelated but the whole
+  /// multi-session run stays reproducible.
+  StreamOptions session_stream;
+};
+
+/// Concurrent-editing model for the sharded DocumentStore: `num_sessions`
+/// independent op streams interleaved round-robin, each op targeting a
+/// Zipf-skewed document. The caller reports the chosen document's live
+/// size through a callback (documents grow and shrink as ops apply, so
+/// only the store knows).
+class MultiSessionStream {
+ public:
+  explicit MultiSessionStream(const MultiSessionOptions& options);
+
+  const MultiSessionOptions& options() const { return options_; }
+
+  /// Next operation from the next session in round-robin order.
+  /// `live_size_of(doc)` must return the document's current live item
+  /// count; an op against an empty document is always an insert at rank 0.
+  template <typename SizeFn>
+  DocOp Next(SizeFn&& live_size_of) {
+    DocOp out;
+    out.session = static_cast<uint32_t>(next_session_);
+    out.doc = PickDoc();
+    next_session_ = (next_session_ + 1) % sessions_.size();
+    const uint64_t live_size = live_size_of(out.doc);
+    if (live_size == 0) {
+      out.op = ListOp{.kind = ListOp::Kind::kInsertAfter, .rank = 0};
+    } else {
+      out.op = sessions_[out.session].Next(live_size);
+    }
+    return out;
+  }
+
+ private:
+  uint64_t PickDoc();
+
+  MultiSessionOptions options_;
+  Rng doc_rng_;
+  ZipfSampler doc_zipf_;
+  std::vector<uint64_t> doc_perm_;  ///< Zipf rank -> document index
+  std::vector<UpdateStream> sessions_;
+  uint64_t next_session_ = 0;
 };
 
 }  // namespace workload

@@ -23,6 +23,7 @@
 #include "core/ltree.h"
 #include "listlab/factory.h"
 #include "obtree/counted_btree.h"
+#include "store/document_store.h"
 #include "virtual_ltree/virtual_ltree.h"
 
 namespace ltree {
@@ -156,6 +157,58 @@ TEST(TsanSmokeTest, ConcurrentStoreReadsAcrossSchemes) {
     });
     EXPECT_EQ(mismatches.load(), 0u) << spec;
   }
+}
+
+TEST(TsanSmokeTest, ConcurrentDocumentStoreReadsAcrossShards) {
+  // Freeze a populated sharded store, then read it from every side at
+  // once: per-document label walks, per-shard live-state snapshots, feed
+  // suffixes and state vectors. stats() and Validate() are excluded like
+  // LabelStore::stats() — both refresh mutable scheme counters.
+  auto store = store::DocumentStore::Make({.num_shards = 4,
+                                           .scheme_spec = "ltree:16:4",
+                                           .feed_capacity = 1 << 20})
+                   .ValueOrDie();
+  constexpr store::DocId kDocs = 12;
+  for (store::DocId doc = 0; doc < kDocs; ++doc) {
+    ASSERT_TRUE(store->CreateDocument(doc).ok());
+    ASSERT_TRUE(store->InsertBatchAfterRank(doc, 0, 200).ok());
+  }
+
+  std::atomic<uint64_t> mismatches{0};
+  RunConcurrently([&](int t) {
+    // Each thread walks a different slice of documents...
+    for (store::DocId doc = static_cast<store::DocId>(t); doc < kDocs;
+         doc += kThreads) {
+      const uint64_t size = store->DocSize(doc).ValueOrDie();
+      Label prev = 0;
+      for (uint64_t rank = 0; rank < size; ++rank) {
+        const auto label = store->LabelAt(doc, rank);
+        if (!label.ok() || (rank > 0 && *label <= prev)) {
+          mismatches.fetch_add(1);
+        }
+        if (label.ok()) prev = *label;
+      }
+      if (store->DocCookies(doc).ValueOrDie().size() != size) {
+        mismatches.fetch_add(1);
+      }
+    }
+    // ...and every thread scans every shard's frozen feed and live state.
+    const store::StateVector head = store->CurrentStateVector();
+    for (uint32_t shard = 0; shard < store->num_shards(); ++shard) {
+      const store::ChangeFeed& feed = store->feed(shard);
+      if (head.seq(shard) != feed.last_seq()) mismatches.fetch_add(1);
+      uint64_t events = 0;
+      for (const store::FeedEvent& event : feed.EventsSince(0)) {
+        events += event.cookie != 0 ? 1 : 0;
+      }
+      if (events != feed.retained()) mismatches.fetch_add(1);
+      const auto state = store->ShardState(shard);
+      for (size_t i = 1; i < state.size(); ++i) {
+        if (state[i].first <= state[i - 1].first) mismatches.fetch_add(1);
+      }
+    }
+  });
+  EXPECT_EQ(mismatches.load(), 0u);
 }
 
 }  // namespace

@@ -43,7 +43,8 @@ import re
 import sys
 import time
 
-IDENTITY_FIELDS = ("f", "s", "n", "k", "inserts", "spec", "scheme")
+IDENTITY_FIELDS = ("f", "s", "n", "k", "inserts", "spec", "scheme",
+                   "shards", "theta", "sessions", "docs", "ops")
 
 # Lower-is-better measurement columns, eligible for --fail-above.
 LOWER_IS_BETTER = re.compile(
