@@ -28,6 +28,7 @@ enum class StatusCode : int {
   kIoError = 9,
   kParseError = 10,  ///< malformed XML / query text
   kInternal = 11,
+  kTimedOut = 12,  ///< deadline elapsed before the operation completed
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -81,6 +82,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status TimedOut(std::string msg) {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
@@ -108,6 +112,7 @@ class Status {
   bool IsIoError() const { return code() == StatusCode::kIoError; }
   bool IsParseError() const { return code() == StatusCode::kParseError; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsTimedOut() const { return code() == StatusCode::kTimedOut; }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

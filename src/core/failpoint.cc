@@ -1,0 +1,93 @@
+#include "core/failpoint.h"
+
+#include <atomic>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace ltree {
+namespace failpoint {
+namespace {
+
+struct Entry {
+  Status status;
+  int64_t remaining = -1;  ///< hits left; < 0 means unbounded
+  bool armed = false;
+  uint64_t hits = 0;  ///< lifetime fire count, survives Disarm
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, Entry> entries;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked: usable during static dtors
+  return *r;
+}
+
+// Count of currently armed failpoints; Check's disarmed fast path only
+// reads this.
+std::atomic<int> armed_count{0};
+
+}  // namespace
+
+void Arm(const std::string& name, Status status, int64_t times) {
+  LTREE_CHECK(!status.ok());
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  Entry& entry = r.entries[name];
+  if (!entry.armed) armed_count.fetch_add(1, std::memory_order_relaxed);
+  entry.status = std::move(status);
+  entry.remaining = times;
+  entry.armed = times != 0;
+  if (!entry.armed) armed_count.fetch_sub(1, std::memory_order_relaxed);
+}
+
+bool Disarm(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.entries.find(name);
+  if (it == r.entries.end() || !it->second.armed) return false;
+  it->second.armed = false;
+  armed_count.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+void DisarmAll() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& [name, entry] : r.entries) {
+    if (entry.armed) {
+      entry.armed = false;
+      armed_count.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+Status Check(const char* name) {
+  if (armed_count.load(std::memory_order_relaxed) == 0) return Status::OK();
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.entries.find(name);
+  if (it == r.entries.end() || !it->second.armed) return Status::OK();
+  Entry& entry = it->second;
+  ++entry.hits;
+  if (entry.remaining > 0 && --entry.remaining == 0) {
+    entry.armed = false;
+    armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+  return entry.status;
+}
+
+uint64_t Hits(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.entries.find(name);
+  return it == r.entries.end() ? 0 : it->second.hits;
+}
+
+}  // namespace failpoint
+}  // namespace ltree

@@ -1,0 +1,83 @@
+// Named failpoints: deterministic server-side fault injection.
+//
+// A failpoint is a named hook compiled into a production code path. Tests
+// arm it with an error Status (optionally for a bounded number of hits);
+// the hosting path consults it via LTREE_FAILPOINT(name) and propagates
+// the injected error exactly as if the operation had failed for real —
+// so recovery code (the replication layer's retry/backoff, the chaos
+// suite's convergence proofs) can be exercised against faults that are
+// impossible to trigger organically, on every toolchain, without
+// recompiling.
+//
+// Disarmed cost is one relaxed atomic load of a global counter — no lock,
+// no lookup — so the hooks stay in release builds. The registry itself is
+// mutex-protected and safe to arm/disarm from any thread.
+//
+// Failpoints compiled into the store layer (see document_store.cc):
+//   * "store.insert"  — consulted before any single/batch insert mutates;
+//   * "store.erase"   — consulted before EraseAt/DropDocument unlink;
+//   * "store.catchup" — consulted at the top of DocumentStore::CatchUp;
+// and into the replication layer (see transport.cc):
+//   * "replica.serve" — consulted before PrimaryEndpoint decodes a request.
+
+#ifndef LTREE_CORE_FAILPOINT_H_
+#define LTREE_CORE_FAILPOINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace ltree {
+namespace failpoint {
+
+/// Arms `name`: the next `times` Check(name) calls return `status` (then
+/// the failpoint disarms itself); times < 0 means "until Disarm". Re-arming
+/// an armed failpoint replaces its status and budget. `status` must be
+/// non-OK.
+void Arm(const std::string& name, Status status, int64_t times = -1);
+
+/// Disarms `name`. Returns false if it was not armed.
+bool Disarm(const std::string& name);
+
+/// Disarms every failpoint (test teardown).
+void DisarmAll();
+
+/// The injected Status if `name` is armed (consuming one hit of a bounded
+/// budget), OK otherwise. This is the call sites' fast path: with no
+/// failpoint armed anywhere it is a single atomic load.
+Status Check(const char* name);
+
+/// Times `name` has fired (returned its injected status) since process
+/// start. Survives Disarm, so tests can assert a bounded arm was consumed.
+uint64_t Hits(const std::string& name);
+
+/// Arms in the constructor, disarms in the destructor — keeps negative
+/// tests exception-safe and ASSERT-safe.
+class ScopedFailpoint {
+ public:
+  ScopedFailpoint(std::string name, Status status, int64_t times = -1)
+      : name_(std::move(name)) {
+    Arm(name_, std::move(status), times);
+  }
+  ~ScopedFailpoint() { Disarm(name_); }
+
+  ScopedFailpoint(const ScopedFailpoint&) = delete;
+  ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace failpoint
+}  // namespace ltree
+
+/// Propagates the injected Status out of the enclosing function when the
+/// named failpoint is armed; no-op (one atomic load) otherwise.
+#define LTREE_FAILPOINT(name)                                  \
+  do {                                                         \
+    ::ltree::Status _fp = ::ltree::failpoint::Check(name);     \
+    if (!_fp.ok()) return _fp;                                 \
+  } while (false)
+
+#endif  // LTREE_CORE_FAILPOINT_H_

@@ -1,0 +1,74 @@
+// Injected time for the replication layer.
+//
+// Retry backoff, request timeouts and transport stalls are all expressed
+// against this one-method-pair interface so tests (and the chaos suite)
+// can run the entire fault/recovery schedule on a deterministic fake
+// clock: a simulated 30-second stall costs nanoseconds of wall time and
+// the exact backoff sequence can be asserted, not sampled.
+
+#ifndef LTREE_REPLICA_CLOCK_H_
+#define LTREE_REPLICA_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace ltree {
+namespace replica {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Milliseconds on a monotonic clock (epoch unspecified).
+  virtual uint64_t NowMs() const = 0;
+
+  /// Blocks (or simulates blocking) for `ms` milliseconds.
+  virtual void SleepMs(uint64_t ms) = 0;
+};
+
+/// Wall time. Only for production wiring; every test uses FakeClock.
+class SystemClock : public Clock {
+ public:
+  uint64_t NowMs() const override {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+  void SleepMs(uint64_t ms) override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  }
+};
+
+/// Deterministic simulated time: SleepMs advances instantly and every
+/// sleep is recorded, so a test can assert the whole backoff schedule.
+class FakeClock : public Clock {
+ public:
+  uint64_t NowMs() const override { return now_ms_; }
+
+  void SleepMs(uint64_t ms) override {
+    now_ms_ += ms;
+    sleeps_.push_back(ms);
+  }
+
+  /// Advances time without recording a sleep (transport stalls use this).
+  void AdvanceMs(uint64_t ms) { now_ms_ += ms; }
+
+  const std::vector<uint64_t>& sleeps() const { return sleeps_; }
+  uint64_t total_slept_ms() const {
+    uint64_t total = 0;
+    for (const uint64_t ms : sleeps_) total += ms;
+    return total;
+  }
+
+ private:
+  uint64_t now_ms_ = 0;
+  std::vector<uint64_t> sleeps_;
+};
+
+}  // namespace replica
+}  // namespace ltree
+
+#endif  // LTREE_REPLICA_CLOCK_H_

@@ -1,0 +1,434 @@
+#include "replica/wire_format.h"
+
+#include <array>
+
+#include "common/macros.h"
+
+namespace ltree {
+namespace replica {
+
+namespace {
+
+// Generated once at first use from the reflected Castagnoli polynomial.
+const std::array<uint32_t, 256>& Crc32cTable() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? 0x82F63B78u : 0u);
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const uint8_t* data, size_t size) {
+  const auto& table = Crc32cTable();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ data[i]) & 0xFFu];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+const char* FrameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kCatchUpRequest:
+      return "catchup-request";
+    case FrameType::kDelta:
+      return "delta";
+    case FrameType::kSnapshot:
+      return "snapshot";
+    case FrameType::kRegister:
+      return "register";
+    case FrameType::kError:
+      return "error";
+    case FrameType::kAck:
+      return "ack";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// ----------------------------------------------------------- byte writer
+
+void PutU8(std::vector<uint8_t>* out, uint8_t v) { out->push_back(v); }
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+// ----------------------------------------------------------- byte reader
+
+/// Bounds-checked cursor over the payload. Every Read* returns false on
+/// overrun instead of touching out-of-range bytes — the decoder turns any
+/// false into Corruption.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  size_t remaining() const { return size_ - pos_; }
+  bool exhausted() const { return pos_ == size_; }
+
+  bool ReadU8(uint8_t* v) {
+    if (remaining() < 1) return false;
+    *v = data_[pos_++];
+    return true;
+  }
+
+  bool ReadU32(uint32_t* v) {
+    if (remaining() < 4) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<uint32_t>(data_[pos_++]) << (8 * i);
+    }
+    return true;
+  }
+
+  bool ReadU64(uint64_t* v) {
+    if (remaining() < 8) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<uint64_t>(data_[pos_++]) << (8 * i);
+    }
+    return true;
+  }
+
+  bool ReadBytes(std::string* out, size_t n) {
+    if (remaining() < n) return false;
+    out->assign(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return true;
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+Status Corrupt(const std::string& what) {
+  return Status::Corruption("wire frame: " + what);
+}
+
+// Per-event wire size for kDelta: seq u64, kind u8, cookie u64, old u64,
+// new u64.
+constexpr size_t kEventBytes = 8 + 1 + 8 + 8 + 8;
+// Per-entry wire size for kSnapshot: label u64, cookie u64.
+constexpr size_t kSnapshotEntryBytes = 8 + 8;
+
+void EncodePayload(const Frame& frame, std::vector<uint8_t>* out) {
+  switch (frame.type) {
+    case FrameType::kCatchUpRequest:
+      PutU32(out, frame.shard);
+      PutU64(out, frame.nonce);
+      PutU64(out, frame.from_seq);
+      return;
+    case FrameType::kDelta:
+      PutU32(out, frame.shard);
+      PutU64(out, frame.nonce);
+      PutU64(out, frame.from_seq);
+      PutU64(out, frame.to_seq);
+      PutU32(out, static_cast<uint32_t>(frame.events.size()));
+      for (const store::FeedEvent& event : frame.events) {
+        PutU64(out, event.seq);
+        PutU8(out, static_cast<uint8_t>(event.kind));
+        PutU64(out, event.cookie);
+        PutU64(out, event.old_label);
+        PutU64(out, event.new_label);
+      }
+      return;
+    case FrameType::kSnapshot:
+      PutU32(out, frame.shard);
+      PutU64(out, frame.nonce);
+      PutU64(out, frame.to_seq);
+      PutU32(out, static_cast<uint32_t>(frame.state.size()));
+      for (const auto& [label, cookie] : frame.state) {
+        PutU64(out, label);
+        PutU64(out, cookie);
+      }
+      return;
+    case FrameType::kRegister:
+      PutU64(out, frame.subscriber);
+      PutU32(out, static_cast<uint32_t>(frame.seqs.size()));
+      for (const uint64_t seq : frame.seqs) PutU64(out, seq);
+      return;
+    case FrameType::kError:
+      PutU32(out, static_cast<uint32_t>(frame.error_code));
+      PutU32(out, static_cast<uint32_t>(frame.error_message.size()));
+      for (const char c : frame.error_message) {
+        PutU8(out, static_cast<uint8_t>(c));
+      }
+      return;
+    case FrameType::kAck:
+      return;
+  }
+  LTREE_CHECK(false);  // unreachable: builders only produce valid types
+}
+
+Status DecodePayload(FrameType type, ByteReader* in, Frame* out) {
+  switch (type) {
+    case FrameType::kCatchUpRequest: {
+      if (!in->ReadU32(&out->shard) || !in->ReadU64(&out->nonce) ||
+          !in->ReadU64(&out->from_seq)) {
+        return Corrupt("truncated catchup-request payload");
+      }
+      return Status::OK();
+    }
+    case FrameType::kDelta: {
+      uint32_t count = 0;
+      if (!in->ReadU32(&out->shard) || !in->ReadU64(&out->nonce) ||
+          !in->ReadU64(&out->from_seq) || !in->ReadU64(&out->to_seq) ||
+          !in->ReadU32(&count)) {
+        return Corrupt("truncated delta header");
+      }
+      // A forged count must not drive the reserve past the bytes that
+      // actually arrived.
+      if (count > in->remaining() / kEventBytes) {
+        return Corrupt("delta event count exceeds payload");
+      }
+      out->events.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        store::FeedEvent event;
+        uint8_t kind = 0;
+        if (!in->ReadU64(&event.seq) || !in->ReadU8(&kind) ||
+            !in->ReadU64(&event.cookie) || !in->ReadU64(&event.old_label) ||
+            !in->ReadU64(&event.new_label)) {
+          return Corrupt("truncated delta event");
+        }
+        if (kind > static_cast<uint8_t>(store::FeedEvent::Kind::kErase)) {
+          return Corrupt("unknown feed event kind " + std::to_string(kind));
+        }
+        event.kind = static_cast<store::FeedEvent::Kind>(kind);
+        out->events.push_back(event);
+      }
+      return Status::OK();
+    }
+    case FrameType::kSnapshot: {
+      uint32_t count = 0;
+      if (!in->ReadU32(&out->shard) || !in->ReadU64(&out->nonce) ||
+          !in->ReadU64(&out->to_seq) || !in->ReadU32(&count)) {
+        return Corrupt("truncated snapshot header");
+      }
+      if (count > in->remaining() / kSnapshotEntryBytes) {
+        return Corrupt("snapshot entry count exceeds payload");
+      }
+      out->state.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        uint64_t label = 0;
+        uint64_t cookie = 0;
+        if (!in->ReadU64(&label) || !in->ReadU64(&cookie)) {
+          return Corrupt("truncated snapshot entry");
+        }
+        out->state.emplace_back(label, cookie);
+      }
+      return Status::OK();
+    }
+    case FrameType::kRegister: {
+      uint32_t count = 0;
+      if (!in->ReadU64(&out->subscriber) || !in->ReadU32(&count)) {
+        return Corrupt("truncated register header");
+      }
+      if (count > in->remaining() / 8) {
+        return Corrupt("register shard count exceeds payload");
+      }
+      out->seqs.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        uint64_t seq = 0;
+        if (!in->ReadU64(&seq)) return Corrupt("truncated register seq");
+        out->seqs.push_back(seq);
+      }
+      return Status::OK();
+    }
+    case FrameType::kError: {
+      uint32_t code = 0;
+      uint32_t msg_len = 0;
+      if (!in->ReadU32(&code) || !in->ReadU32(&msg_len)) {
+        return Corrupt("truncated error header");
+      }
+      if (code == static_cast<uint32_t>(StatusCode::kOk) ||
+          code > static_cast<uint32_t>(StatusCode::kTimedOut)) {
+        return Corrupt("invalid error status code " + std::to_string(code));
+      }
+      if (!in->ReadBytes(&out->error_message, msg_len)) {
+        return Corrupt("truncated error message");
+      }
+      out->error_code = static_cast<StatusCode>(code);
+      return Status::OK();
+    }
+    case FrameType::kAck:
+      return Status::OK();
+  }
+  return Corrupt("unknown frame type");
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- builders
+
+Frame MakeCatchUpRequestFrame(uint32_t shard, uint64_t from_seq,
+                              uint64_t nonce) {
+  Frame frame;
+  frame.type = FrameType::kCatchUpRequest;
+  frame.shard = shard;
+  frame.nonce = nonce;
+  frame.from_seq = from_seq;
+  return frame;
+}
+
+Frame MakeCatchUpResponseFrame(uint32_t shard,
+                               const store::CatchUpResult& result,
+                               uint64_t nonce) {
+  Frame frame;
+  frame.shard = shard;
+  frame.nonce = nonce;
+  frame.to_seq = result.to_seq;
+  if (result.snapshot) {
+    frame.type = FrameType::kSnapshot;
+    frame.state = result.state;
+  } else {
+    frame.type = FrameType::kDelta;
+    frame.from_seq = result.from_seq;
+    frame.events = result.events;
+  }
+  return frame;
+}
+
+Frame MakeRegisterFrame(uint64_t subscriber, const store::StateVector& sv) {
+  Frame frame;
+  frame.type = FrameType::kRegister;
+  frame.subscriber = subscriber;
+  frame.seqs.reserve(sv.num_shards());
+  for (uint32_t i = 0; i < sv.num_shards(); ++i) {
+    frame.seqs.push_back(sv.seq(i));
+  }
+  return frame;
+}
+
+Frame MakeErrorFrame(const Status& status) {
+  LTREE_CHECK(!status.ok());
+  Frame frame;
+  frame.type = FrameType::kError;
+  frame.error_code = status.code();
+  frame.error_message = status.message();
+  return frame;
+}
+
+Frame MakeAckFrame() { return Frame{}; }
+
+// --------------------------------------------------------- frame <-> bytes
+
+std::vector<uint8_t> EncodeFrame(const Frame& frame) {
+  std::vector<uint8_t> out;
+  out.push_back(kWireMagic0);
+  out.push_back(kWireMagic1);
+  out.push_back(kWireVersion);
+  out.push_back(static_cast<uint8_t>(frame.type));
+  PutU32(&out, 0);  // payload length backpatched below
+  EncodePayload(frame, &out);
+  const uint32_t payload_len =
+      static_cast<uint32_t>(out.size() - kFrameHeaderBytes);
+  for (int i = 0; i < 4; ++i) {
+    out[4 + i] = static_cast<uint8_t>(payload_len >> (8 * i));
+  }
+  PutU32(&out, Crc32c(out.data(), out.size()));
+  return out;
+}
+
+Result<Frame> DecodeFrame(const uint8_t* data, size_t size) {
+  if (size < kFrameHeaderBytes + kFrameTrailerBytes) {
+    return Corrupt("buffer shorter than minimal frame");
+  }
+  if (data[0] != kWireMagic0 || data[1] != kWireMagic1) {
+    return Corrupt("bad magic");
+  }
+  if (data[2] != kWireVersion) {
+    return Corrupt("unsupported protocol version " + std::to_string(data[2]));
+  }
+  const uint8_t raw_type = data[3];
+  if (raw_type < static_cast<uint8_t>(FrameType::kCatchUpRequest) ||
+      raw_type > static_cast<uint8_t>(FrameType::kAck)) {
+    return Corrupt("unknown frame type " + std::to_string(raw_type));
+  }
+  uint32_t payload_len = 0;
+  for (int i = 0; i < 4; ++i) {
+    payload_len |= static_cast<uint32_t>(data[4 + i]) << (8 * i);
+  }
+  if (payload_len > kMaxPayloadBytes) {
+    return Corrupt("payload length " + std::to_string(payload_len) +
+                   " exceeds limit");
+  }
+  if (size != kFrameHeaderBytes + payload_len + kFrameTrailerBytes) {
+    return Corrupt("length prefix disagrees with buffer size");
+  }
+  const size_t checked = kFrameHeaderBytes + payload_len;
+  uint32_t stored_crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored_crc |= static_cast<uint32_t>(data[checked + i]) << (8 * i);
+  }
+  if (Crc32c(data, checked) != stored_crc) {
+    return Corrupt("CRC32C mismatch");
+  }
+  Frame frame;
+  frame.type = static_cast<FrameType>(raw_type);
+  ByteReader reader(data + kFrameHeaderBytes, payload_len);
+  LTREE_RETURN_IF_ERROR(DecodePayload(frame.type, &reader, &frame));
+  if (!reader.exhausted()) {
+    return Corrupt("trailing bytes after payload");
+  }
+  return frame;
+}
+
+Result<Frame> DecodeFrame(const std::vector<uint8_t>& bytes) {
+  return DecodeFrame(bytes.data(), bytes.size());
+}
+
+// --------------------------------------------------------- frame -> model
+
+Result<store::CatchUpResult> ToCatchUpResult(const Frame& frame) {
+  store::CatchUpResult out;
+  switch (frame.type) {
+    case FrameType::kDelta:
+      out.snapshot = false;
+      out.from_seq = frame.from_seq;
+      out.to_seq = frame.to_seq;
+      out.events = frame.events;
+      return out;
+    case FrameType::kSnapshot:
+      out.snapshot = true;
+      out.from_seq = 0;
+      out.to_seq = frame.to_seq;
+      out.state = frame.state;
+      return out;
+    default:
+      return Status::InvalidArgument(
+          std::string("frame type ") + FrameTypeName(frame.type) +
+          " carries no catch-up result");
+  }
+}
+
+Status ErrorFrameStatus(const Frame& frame) {
+  if (frame.type != FrameType::kError) {
+    return Status::InvalidArgument(std::string("frame type ") +
+                                   FrameTypeName(frame.type) +
+                                   " carries no error status");
+  }
+  return Status(frame.error_code, frame.error_message);
+}
+
+}  // namespace replica
+}  // namespace ltree

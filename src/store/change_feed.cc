@@ -41,8 +41,18 @@ uint64_t ChangeFeed::Append(FeedEvent event) {
   return last_seq_;
 }
 
-std::vector<FeedEvent> ChangeFeed::EventsSince(uint64_t from_seq) const {
-  LTREE_CHECK(CanServeFrom(from_seq));
+Result<std::vector<FeedEvent>> ChangeFeed::EventsSince(
+    uint64_t from_seq) const {
+  if (from_seq > last_seq_) {
+    return Status::InvalidArgument(
+        "position " + std::to_string(from_seq) + " is beyond feed head " +
+        std::to_string(last_seq_));
+  }
+  if (!CanServeFrom(from_seq)) {
+    return Status::InvalidArgument(
+        "position " + std::to_string(from_seq) + " is below trim floor " +
+        std::to_string(first_retained_seq()) + "; take a snapshot");
+  }
   std::vector<FeedEvent> out;
   if (events_.empty() || from_seq >= last_seq_) return out;
   // Retained seqs are contiguous, so the suffix starts at a computed

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "common/result.h"
 #include "core/relabel_listener.h"
 #include "core/validate.h"
 
@@ -79,13 +80,18 @@ class ChangeFeed {
 
   /// True iff the retained window still contains every event after
   /// `from_seq` — i.e. a subscriber at `from_seq` can be served a delta.
+  /// A `from_seq` beyond last_seq() claims a future this feed never
+  /// published (a corrupt or future-dated peer request) and is never
+  /// servable.
   bool CanServeFrom(uint64_t from_seq) const {
-    return from_seq + 1 >= first_retained_seq();
+    return from_seq <= last_seq_ && from_seq + 1 >= first_retained_seq();
   }
 
   /// The events with sequence numbers in (from_seq, last_seq()], oldest
-  /// first. Requires CanServeFrom(from_seq).
-  std::vector<FeedEvent> EventsSince(uint64_t from_seq) const;
+  /// first. InvalidArgument when !CanServeFrom(from_seq): a position
+  /// beyond last_seq() is a protocol violation by the requesting peer, one
+  /// below the trim floor needs the snapshot path instead.
+  Result<std::vector<FeedEvent>> EventsSince(uint64_t from_seq) const;
 
   /// Drops the oldest retained events until at most `keep` remain — the
   /// manual trim-policy knob (tests use it to force the snapshot path; a

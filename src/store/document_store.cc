@@ -7,6 +7,7 @@
 
 #include "common/macros.h"
 #include "common/random.h"
+#include "core/failpoint.h"
 #include "listlab/factory.h"
 
 namespace ltree {
@@ -100,6 +101,7 @@ Status DocumentStore::CreateDocument(DocId doc) {
 }
 
 Status DocumentStore::DropDocument(DocId doc) {
+  LTREE_FAILPOINT("store.erase");
   LTREE_ASSIGN_OR_RETURN(DocState * state, FindDoc(doc));
   ShardCtx& ctx = *shards_[state->shard];
   for (const listlab::ItemHandle handle : state->items) {
@@ -151,6 +153,7 @@ void DocumentStore::PublishInsert(ShardCtx& ctx, DocId doc, LeafCookie cookie,
 
 Result<LeafCookie> DocumentStore::InsertOne(DocId doc, uint64_t rank,
                                             bool before, bool append) {
+  LTREE_FAILPOINT("store.insert");
   LTREE_ASSIGN_OR_RETURN(DocState * state, FindDoc(doc));
   ShardCtx& ctx = *shards_[state->shard];
   const LeafCookie cookie = next_cookie_;
@@ -199,6 +202,7 @@ Status DocumentStore::InsertBatchAfterRank(DocId doc, uint64_t rank,
                                            uint64_t count,
                                            std::vector<LeafCookie>* cookies) {
   if (count == 0) return Status::OK();
+  LTREE_FAILPOINT("store.insert");
   LTREE_ASSIGN_OR_RETURN(DocState * state, FindDoc(doc));
   ShardCtx& ctx = *shards_[state->shard];
   if (!state->items.empty() && rank >= state->items.size()) {
@@ -240,6 +244,7 @@ Status DocumentStore::InsertBatchAfterRank(DocId doc, uint64_t rank,
 }
 
 Status DocumentStore::EraseAt(DocId doc, uint64_t rank) {
+  LTREE_FAILPOINT("store.erase");
   LTREE_ASSIGN_OR_RETURN(DocState * state, FindDoc(doc));
   if (rank >= state->items.size()) {
     return Status::OutOfRange("rank " + std::to_string(rank) +
@@ -330,6 +335,7 @@ StateVector DocumentStore::CurrentStateVector() const {
 
 Result<CatchUpResult> DocumentStore::CatchUp(uint32_t shard,
                                              uint64_t from_seq) const {
+  LTREE_FAILPOINT("store.catchup");
   if (shard >= num_shards()) {
     return Status::InvalidArgument("unknown shard " + std::to_string(shard));
   }
@@ -344,7 +350,7 @@ Result<CatchUpResult> DocumentStore::CatchUp(uint32_t shard,
   out.from_seq = from_seq;
   out.to_seq = last;
   if (ctx.feed.CanServeFrom(from_seq)) {
-    out.events = ctx.feed.EventsSince(from_seq);
+    LTREE_ASSIGN_OR_RETURN(out.events, ctx.feed.EventsSince(from_seq));
     return out;
   }
   // The log has been trimmed past the subscriber: one compact label
@@ -356,6 +362,62 @@ Result<CatchUpResult> DocumentStore::CatchUp(uint32_t shard,
 
 void DocumentStore::TrimFeeds(uint64_t keep) {
   for (auto& ctx : shards_) ctx->feed.TrimTo(keep);
+}
+
+// ------------------------------------------------------ subscriber registry
+
+Status DocumentStore::RegisterSubscriber(uint64_t subscriber,
+                                         const StateVector& position) {
+  if (position.num_shards() != num_shards()) {
+    return Status::InvalidArgument(
+        "subscriber state vector has " + std::to_string(position.num_shards()) +
+        " shards, store has " + std::to_string(num_shards()));
+  }
+  for (uint32_t i = 0; i < num_shards(); ++i) {
+    const uint64_t head = shards_[i]->feed.last_seq();
+    if (position.seq(i) > head) {
+      return Status::InvalidArgument(
+          "subscriber position " + std::to_string(position.seq(i)) +
+          " for shard " + std::to_string(i) + " is beyond feed head " +
+          std::to_string(head));
+    }
+  }
+  subscribers_[subscriber] = position;
+  AutoValidate("RegisterSubscriber");
+  return Status::OK();
+}
+
+Status DocumentStore::UnregisterSubscriber(uint64_t subscriber) {
+  if (subscribers_.erase(subscriber) == 0) {
+    return Status::NotFound("subscriber " + std::to_string(subscriber) +
+                            " is not registered");
+  }
+  return Status::OK();
+}
+
+uint64_t DocumentStore::SlowestSubscriberSeq(uint32_t shard) const {
+  uint64_t slowest = shards_[shard]->feed.last_seq();
+  for (const auto& [id, position] : subscribers_) {
+    slowest = std::min(slowest, position.seq(shard));
+  }
+  return slowest;
+}
+
+uint64_t DocumentStore::TrimToSlowestSubscriber(uint64_t max_retained) {
+  uint64_t trimmed = 0;
+  for (uint32_t i = 0; i < num_shards(); ++i) {
+    ChangeFeed& feed = shards_[i]->feed;
+    // Events in (slowest, last_seq] are still owed to some subscriber;
+    // everything at or below the slowest position has been applied
+    // everywhere. The budget wins over the laggard: past it the laggard
+    // re-syncs via snapshot instead of pinning memory.
+    const uint64_t needed = feed.last_seq() - SlowestSubscriberSeq(i);
+    const uint64_t before = feed.trimmed();
+    feed.TrimTo(std::min(needed, max_retained));
+    trimmed += feed.trimmed() - before;
+  }
+  AutoValidate("TrimToSlowestSubscriber");
+  return trimmed;
 }
 
 // -------------------------------------------------------------------- stats
@@ -475,6 +537,27 @@ void DocumentStore::ValidateStoreLevel(audit::Report* out) const {
                  "published counters sum to " + std::to_string(published) +
                      " but last_seq is " +
                      std::to_string(ctx.feed.last_seq()));
+    }
+  }
+
+  // subscriber-registry: registered positions must describe this store —
+  // right shard count, never ahead of what the feeds actually published.
+  for (const auto& [id, position] : subscribers_) {
+    const std::string sub_path = "docstore:/subscriber" + std::to_string(id);
+    if (position.num_shards() != num_shards()) {
+      report.Add(sub_path, "subscriber-registry",
+                 "state vector has " + std::to_string(position.num_shards()) +
+                     " shards, store has " + std::to_string(num_shards()));
+      continue;
+    }
+    for (uint32_t i = 0; i < num_shards(); ++i) {
+      if (position.seq(i) > shards_[i]->feed.last_seq()) {
+        report.Add(sub_path, "subscriber-registry",
+                   "shard " + std::to_string(i) + " position " +
+                       std::to_string(position.seq(i)) +
+                       " is beyond feed head " +
+                       std::to_string(shards_[i]->feed.last_seq()));
+      }
     }
   }
 

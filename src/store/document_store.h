@@ -168,6 +168,36 @@ class DocumentStore {
   /// feed, forcing laggards onto the snapshot path.
   void TrimFeeds(uint64_t keep);
 
+  // ------------------------------------------------- subscriber registry
+  //
+  // Mirrors register the StateVector they have durably applied so trim
+  // policy can retain exactly the events the slowest of them still needs
+  // (ROADMAP item c). Registration is advisory: an unregistered or
+  // overtaken mirror falls back to the snapshot path, it is never wedged.
+
+  /// Registers (or re-registers, replacing the previous position)
+  /// subscriber `subscriber` at `position`. InvalidArgument if the vector's
+  /// shard count mismatches or any component is beyond the shard feed head
+  /// (a future-dated position this store never published).
+  Status RegisterSubscriber(uint64_t subscriber, const StateVector& position);
+
+  /// Forgets `subscriber`; NotFound if it was never registered.
+  Status UnregisterSubscriber(uint64_t subscriber);
+
+  uint64_t num_subscribers() const { return subscribers_.size(); }
+
+  /// The lowest registered position for `shard` — the trim horizon.
+  /// Returns the feed head when no subscriber is registered.
+  uint64_t SlowestSubscriberSeq(uint32_t shard) const;
+
+  /// Trims every shard feed down to what registered subscribers still
+  /// need: events at or below the slowest registered position are dropped.
+  /// `max_retained` is the per-shard memory budget — when the slowest
+  /// subscriber lags further than that, retention is capped anyway and the
+  /// laggard degrades to the snapshot path on its next catch-up. Returns
+  /// the number of events trimmed across all shards.
+  uint64_t TrimToSlowestSubscriber(uint64_t max_retained = UINT64_MAX);
+
   // ---------------------------------------------------------------- stats
 
   StoreStats stats() const;
@@ -180,7 +210,10 @@ class DocumentStore {
   ///   * "feed-continuity" — per-shard sequence numbers are contiguous in
   ///     the retained window and conserve against the trim counter;
   ///   * "stats-rollup"   — per-shard MaintStats sums, the store's own
-  ///     operation ledger, and the feed publication counters all agree.
+  ///     operation ledger, and the feed publication counters all agree;
+  ///   * "subscriber-registry" — every registered subscriber StateVector
+  ///     has this store's shard count and never claims a position beyond
+  ///     a shard feed head.
   /// Under -DLISTLAB_VALIDATE=ON the store-layer rules above re-run after
   /// every mutating call (each shard's scheme already deep-audits itself
   /// per mutation under the same flag) and abort with the full report on
@@ -226,6 +259,7 @@ class DocumentStore {
   DocStoreOptions options_;
   std::vector<std::unique_ptr<ShardCtx>> shards_;
   std::unordered_map<DocId, DocState> docs_;
+  std::unordered_map<uint64_t, StateVector> subscribers_;
   LeafCookie next_cookie_ = 1;
   Ledger ledger_;
 };

@@ -1,0 +1,142 @@
+// Failpoint registry tests: arm/disarm lifecycle, bounded budgets,
+// hit accounting, the LTREE_FAILPOINT macro, and the store-layer hooks
+// ("store.insert" / "store.erase" / "store.catchup").
+
+#include "core/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+
+#include "common/status.h"
+#include "store/document_store.h"
+
+namespace ltree {
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { failpoint::DisarmAll(); }
+};
+
+TEST_F(FailpointTest, DisarmedCheckIsOk) {
+  EXPECT_TRUE(failpoint::Check("never.armed").ok());
+}
+
+TEST_F(FailpointTest, ArmedCheckReturnsInjectedStatus) {
+  failpoint::Arm("fp.basic", Status::IoError("injected"));
+  const Status st = failpoint::Check("fp.basic");
+  EXPECT_TRUE(st.IsIoError());
+  EXPECT_EQ(st.message(), "injected");
+  EXPECT_TRUE(failpoint::Disarm("fp.basic"));
+  EXPECT_TRUE(failpoint::Check("fp.basic").ok());
+}
+
+TEST_F(FailpointTest, DisarmReportsWhetherArmed) {
+  EXPECT_FALSE(failpoint::Disarm("fp.nothing"));
+  failpoint::Arm("fp.once", Status::Internal("x"));
+  EXPECT_TRUE(failpoint::Disarm("fp.once"));
+  EXPECT_FALSE(failpoint::Disarm("fp.once"));
+}
+
+TEST_F(FailpointTest, BoundedArmConsumesItsBudgetThenDisarms) {
+  failpoint::Arm("fp.bounded", Status::TimedOut("boom"), /*times=*/3);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(failpoint::Check("fp.bounded").IsTimedOut()) << i;
+  }
+  EXPECT_TRUE(failpoint::Check("fp.bounded").ok());
+  EXPECT_FALSE(failpoint::Disarm("fp.bounded"));  // already self-disarmed
+}
+
+TEST_F(FailpointTest, HitsAccumulateAcrossArms) {
+  const uint64_t before = failpoint::Hits("fp.counted");
+  failpoint::Arm("fp.counted", Status::Internal("a"), 2);
+  (void)failpoint::Check("fp.counted");
+  (void)failpoint::Check("fp.counted");
+  failpoint::Arm("fp.counted", Status::Internal("b"), 1);
+  (void)failpoint::Check("fp.counted");
+  EXPECT_EQ(failpoint::Hits("fp.counted"), before + 3);
+}
+
+TEST_F(FailpointTest, RearmReplacesStatusAndBudget) {
+  failpoint::Arm("fp.rearm", Status::Internal("old"));
+  failpoint::Arm("fp.rearm", Status::NotFound("new"), 1);
+  EXPECT_TRUE(failpoint::Check("fp.rearm").IsNotFound());
+  EXPECT_TRUE(failpoint::Check("fp.rearm").ok());
+}
+
+TEST_F(FailpointTest, ScopedFailpointDisarmsOnExit) {
+  {
+    failpoint::ScopedFailpoint fp("fp.scoped", Status::IoError("scoped"));
+    EXPECT_TRUE(failpoint::Check("fp.scoped").IsIoError());
+  }
+  EXPECT_TRUE(failpoint::Check("fp.scoped").ok());
+}
+
+Status GuardedOperation() {
+  LTREE_FAILPOINT("fp.macro");
+  return Status::OK();
+}
+
+TEST_F(FailpointTest, MacroPropagatesInjectedError) {
+  EXPECT_TRUE(GuardedOperation().ok());
+  failpoint::ScopedFailpoint fp("fp.macro", Status::CapacityExceeded("full"));
+  EXPECT_TRUE(GuardedOperation().IsCapacityExceeded());
+}
+
+// ------------------------------------------------------- store-layer hooks
+
+class StoreFailpointTest : public FailpointTest {
+ protected:
+  void SetUp() override {
+    store::DocStoreOptions options;
+    options.num_shards = 2;
+    auto made = store::DocumentStore::Make(options);
+    ASSERT_TRUE(made.ok());
+    store_ = std::move(*made);
+    ASSERT_TRUE(store_->CreateDocument(0).ok());
+    for (int i = 0; i < 5; ++i) ASSERT_TRUE(store_->Append(0).ok());
+  }
+
+  std::unique_ptr<store::DocumentStore> store_;
+};
+
+TEST_F(StoreFailpointTest, InsertFailpointFailsInsertsOnly) {
+  failpoint::ScopedFailpoint fp("store.insert", Status::IoError("disk full"));
+  EXPECT_TRUE(store_->Append(0).status().IsIoError());
+  EXPECT_TRUE(store_->InsertBatchAfterRank(0, 0, 4).IsIoError());
+  // Reads and erases still work: the failpoint is path-scoped.
+  EXPECT_TRUE(store_->DocSize(0).ok());
+  EXPECT_TRUE(store_->EraseAt(0, 0).ok());
+}
+
+TEST_F(StoreFailpointTest, EraseFailpointFailsErasePaths) {
+  failpoint::ScopedFailpoint fp("store.erase", Status::IoError("wedged"));
+  EXPECT_TRUE(store_->EraseAt(0, 0).IsIoError());
+  EXPECT_TRUE(store_->DropDocument(0).IsIoError());
+  EXPECT_TRUE(store_->Append(0).ok());
+}
+
+TEST_F(StoreFailpointTest, CatchUpFailpointFailsSyncServing) {
+  failpoint::ScopedFailpoint fp("store.catchup",
+                                Status::TimedOut("replica stall"), 1);
+  EXPECT_TRUE(store_->CatchUp(0, 0).status().IsTimedOut());
+  EXPECT_TRUE(store_->CatchUp(0, 0).ok());  // budget of one consumed
+}
+
+TEST_F(StoreFailpointTest, FailedInsertLeavesStoreConsistent) {
+  const uint64_t size = store_->DocSize(0).ValueOrDie();
+  {
+    failpoint::ScopedFailpoint fp("store.insert", Status::IoError("x"));
+    EXPECT_FALSE(store_->Append(0).ok());
+  }
+  // The failpoint fires before any mutation, so nothing changed and the
+  // full audit still passes.
+  EXPECT_EQ(store_->DocSize(0).ValueOrDie(), size);
+  const audit::Report report = store_->Validate();
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+}  // namespace
+}  // namespace ltree

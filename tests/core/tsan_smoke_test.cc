@@ -198,7 +198,9 @@ TEST(TsanSmokeTest, ConcurrentDocumentStoreReadsAcrossShards) {
       const store::ChangeFeed& feed = store->feed(shard);
       if (head.seq(shard) != feed.last_seq()) mismatches.fetch_add(1);
       uint64_t events = 0;
-      for (const store::FeedEvent& event : feed.EventsSince(0)) {
+      const std::vector<store::FeedEvent> suffix =
+          feed.EventsSince(0).ValueOrDie();
+      for (const store::FeedEvent& event : suffix) {
         events += event.cookie != 0 ? 1 : 0;
       }
       if (events != feed.retained()) mismatches.fetch_add(1);

@@ -74,7 +74,7 @@ TEST(ChangeFeedTest, EventKindsRoundTripThroughToString) {
                .new_label = 9});
   feed.Append(
       {.kind = FeedEvent::Kind::kErase, .cookie = 42, .old_label = 9});
-  const auto events = feed.EventsSince(0);
+  const auto events = feed.EventsSince(0).ValueOrDie();
   ASSERT_EQ(events.size(), 3u);
   EXPECT_EQ(events[0].ToString(), "#1 insert cookie=42 new=7");
   EXPECT_EQ(events[1].ToString(), "#2 relabel cookie=42 old=7 new=9");
@@ -89,12 +89,12 @@ TEST(ChangeFeedTest, EventsSinceReturnsExactSuffix) {
   ChangeFeed feed(16);
   for (uint64_t i = 0; i < 8; ++i) feed.Append(Insert(i, i));
   EXPECT_TRUE(feed.CanServeFrom(0));
-  EXPECT_EQ(feed.EventsSince(0).size(), 8u);
-  const auto tail = feed.EventsSince(5);
+  EXPECT_EQ(feed.EventsSince(0).ValueOrDie().size(), 8u);
+  const auto tail = feed.EventsSince(5).ValueOrDie();
   ASSERT_EQ(tail.size(), 3u);
   EXPECT_EQ(tail[0].seq, 6u);
   EXPECT_EQ(tail[2].seq, 8u);
-  EXPECT_TRUE(feed.EventsSince(8).empty());
+  EXPECT_TRUE(feed.EventsSince(8).ValueOrDie().empty());
 }
 
 TEST(ChangeFeedTest, CanServeFromRespectsTrimFloor) {
@@ -103,8 +103,28 @@ TEST(ChangeFeedTest, CanServeFromRespectsTrimFloor) {
   // Floor is 7: positions 6.. can still be served a delta, 5 cannot.
   EXPECT_FALSE(feed.CanServeFrom(5));
   EXPECT_TRUE(feed.CanServeFrom(6));
-  EXPECT_EQ(feed.EventsSince(6).size(), 4u);
+  EXPECT_EQ(feed.EventsSince(6).ValueOrDie().size(), 4u);
   EXPECT_TRUE(feed.CanServeFrom(10));
+}
+
+TEST(ChangeFeedTest, PositionsBeyondHeadAreRejected) {
+  // A corrupt or future-dated peer request claims a position this feed
+  // never published; it must be refused, not walked off the deque.
+  ChangeFeed feed(16);
+  EXPECT_FALSE(feed.CanServeFrom(1));  // empty feed: head is 0
+  EXPECT_TRUE(feed.EventsSince(1).status().IsInvalidArgument());
+  for (uint64_t i = 0; i < 8; ++i) feed.Append(Insert(i, i));
+  EXPECT_TRUE(feed.CanServeFrom(8));
+  EXPECT_FALSE(feed.CanServeFrom(9));
+  EXPECT_FALSE(feed.CanServeFrom(~uint64_t{0}));
+  const auto beyond = feed.EventsSince(9);
+  ASSERT_FALSE(beyond.ok());
+  EXPECT_TRUE(beyond.status().IsInvalidArgument());
+  // Below the trim floor is also an error (the snapshot path's job).
+  feed.TrimTo(2);
+  const auto below = feed.EventsSince(0);
+  ASSERT_FALSE(below.ok());
+  EXPECT_TRUE(below.status().IsInvalidArgument());
 }
 
 TEST(ChangeFeedTest, TrimToForcesSnapshotTerritory) {

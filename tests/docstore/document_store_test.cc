@@ -10,6 +10,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/random.h"
@@ -36,6 +37,10 @@ class DocumentStoreTestPeer {
   }
   static void BumpLedgerInserts(DocumentStore* s, uint64_t n) {
     s->ledger_.inserts += n;
+  }
+  static void CorruptSubscriber(DocumentStore* s, uint64_t subscriber,
+                                StateVector position) {
+    s->subscribers_[subscriber] = std::move(position);
   }
 };
 
@@ -240,7 +245,9 @@ TEST(DocumentStoreTest, FeedCarriesLiveHistoryOnly) {
   // Replaying the feed into a cookie->label map must reproduce the live
   // state exactly (tombstone shuffles are filtered at the tap).
   std::unordered_map<LeafCookie, Label> replay;
-  for (const FeedEvent& event : store->feed(0).EventsSince(0)) {
+  const std::vector<FeedEvent> events =
+      store->feed(0).EventsSince(0).ValueOrDie();
+  for (const FeedEvent& event : events) {
     switch (event.kind) {
       case FeedEvent::Kind::kInsert:
         ASSERT_EQ(replay.count(event.cookie), 0u) << event.ToString();
@@ -429,6 +436,119 @@ TEST(DocumentStoreAuditTest, LedgerTamperBreaksStatsRollup) {
   const audit::Report report = store->Validate();
   EXPECT_FALSE(report.ok());
   EXPECT_TRUE(report.HasRule("stats-rollup"));
+}
+
+// ---------------------------------------------------------------------------
+// Subscriber registry and subscriber-aware trimming
+// ---------------------------------------------------------------------------
+
+TEST(SubscriberTrimTest, RegisterValidatesShardCountAndPositions) {
+  auto store = MakeStore({.num_shards = 2});
+  ASSERT_TRUE(store->CreateDocument(0).ok());
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(store->Append(0).ok());
+
+  EXPECT_TRUE(store->RegisterSubscriber(1, StateVector(2)).ok());
+  EXPECT_EQ(store->num_subscribers(), 1u);
+  // Wrong shard count.
+  EXPECT_TRUE(store->RegisterSubscriber(2, StateVector(3))
+                  .IsInvalidArgument());
+  // Position beyond the feed head claims a future the feed never
+  // published.
+  StateVector future(2);
+  future.Set(store->ShardOf(0), 999);
+  EXPECT_TRUE(store->RegisterSubscriber(3, future).IsInvalidArgument());
+  EXPECT_EQ(store->num_subscribers(), 1u);
+
+  // Re-registering overwrites the position; unregistering forgets it.
+  StateVector current = store->CurrentStateVector();
+  EXPECT_TRUE(store->RegisterSubscriber(1, current).ok());
+  EXPECT_EQ(store->num_subscribers(), 1u);
+  EXPECT_TRUE(store->UnregisterSubscriber(1).ok());
+  EXPECT_TRUE(store->UnregisterSubscriber(1).IsNotFound());
+  EXPECT_EQ(store->num_subscribers(), 0u);
+}
+
+TEST(SubscriberTrimTest, TrimStopsAtTheSlowestSubscriber) {
+  auto store = MakeStore({.num_shards = 1, .feed_capacity = 4096});
+  ASSERT_TRUE(store->CreateDocument(0).ok());
+  for (int i = 0; i < 20; ++i) ASSERT_TRUE(store->Append(0).ok());
+  // Appends may emit relabel events too, so measure the head rather than
+  // assuming one event per append.
+  const uint64_t head = store->CurrentStateVector().seq(0);
+  ASSERT_GE(head, 20u);
+
+  StateVector fast(1);
+  fast.Set(0, head - 2);
+  StateVector slow(1);
+  slow.Set(0, 5);
+  ASSERT_TRUE(store->RegisterSubscriber(1, fast).ok());
+  ASSERT_TRUE(store->RegisterSubscriber(2, slow).ok());
+  EXPECT_EQ(store->SlowestSubscriberSeq(0), 5u);
+
+  // Events (5, head] are still owed to the slow subscriber: exactly the
+  // first 5 retained events may go.
+  EXPECT_EQ(store->TrimToSlowestSubscriber(), 5u);
+  const auto served = store->CatchUp(0, 5);
+  ASSERT_TRUE(served.ok());
+  EXPECT_FALSE(served->snapshot);  // the slow subscriber still gets deltas
+  EXPECT_EQ(served->events.size(), head - 5);
+
+  // Once the laggard unregisters, everything up to the fast subscriber
+  // can be trimmed.
+  ASSERT_TRUE(store->UnregisterSubscriber(2).ok());
+  EXPECT_EQ(store->SlowestSubscriberSeq(0), head - 2);
+  EXPECT_EQ(store->TrimToSlowestSubscriber(), head - 7);
+}
+
+TEST(SubscriberTrimTest, MemoryBudgetWinsOverTheLaggard) {
+  auto store = MakeStore({.num_shards = 1, .feed_capacity = 4096});
+  ASSERT_TRUE(store->CreateDocument(0).ok());
+  for (int i = 0; i < 50; ++i) ASSERT_TRUE(store->Append(0).ok());
+
+  const uint64_t head = store->CurrentStateVector().seq(0);
+  StateVector laggard(1);  // position 0: owed the whole feed
+  ASSERT_TRUE(store->RegisterSubscriber(1, laggard).ok());
+  // Unbudgeted trim keeps everything for the laggard.
+  EXPECT_EQ(store->TrimToSlowestSubscriber(), 0u);
+  // A 10-event budget evicts all older events; the laggard must now take
+  // the snapshot path, exactly like a trim-during-partition in the chaos
+  // suite.
+  EXPECT_EQ(store->TrimToSlowestSubscriber(/*max_retained=*/10), head - 10);
+  const auto served = store->CatchUp(0, 0);
+  ASSERT_TRUE(served.ok());
+  EXPECT_TRUE(served->snapshot);
+}
+
+TEST(SubscriberTrimTest, NoSubscribersMeansTrimToHead) {
+  auto store = MakeStore({.num_shards = 1});
+  ASSERT_TRUE(store->CreateDocument(0).ok());
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(store->Append(0).ok());
+  EXPECT_EQ(store->SlowestSubscriberSeq(0), 8u);
+  EXPECT_EQ(store->TrimToSlowestSubscriber(), 8u);
+}
+
+TEST(DocumentStoreAuditTest, CorruptSubscriberPositionIsReported) {
+  auto store = MakeStore({.num_shards = 2});
+  ASSERT_TRUE(store->CreateDocument(0).ok());
+  ASSERT_TRUE(store->Append(0).ok());
+
+  // A position past the feed head can never arise through
+  // RegisterSubscriber; plant one directly.
+  StateVector beyond(2);
+  beyond.Set(0, 999);
+  beyond.Set(1, 999);
+  DocumentStoreTestPeer::CorruptSubscriber(store.get(), 9,
+                                           std::move(beyond));
+  audit::Report report = store->Validate();
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.HasRule("subscriber-registry")) << report.ToString();
+
+  // Same rule for a shard-count mismatch.
+  auto store2 = MakeStore({.num_shards = 2});
+  DocumentStoreTestPeer::CorruptSubscriber(store2.get(), 9, StateVector(5));
+  report = store2->Validate();
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.HasRule("subscriber-registry")) << report.ToString();
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,236 @@
+// Chaos suite: the headline acceptance test for the replication layer.
+//
+// Randomized multi-session Zipf edit scripts run against a primary while a
+// ReplicationSession syncs a mirror over a FaultyTransport — one scenario
+// per fault class (drop, duplicate, reorder, truncate, bit-flip, stall,
+// server-side failpoint, and everything-at-once) crossed with all six
+// labeling schemes. Every scenario must reach CheckEquivalent convergence
+// within the bounded retry budget, the injected fault class must actually
+// have fired, and corrupted frames must never have been applied (zero
+// protocol violations; wire damage surfaces as retries, not state).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "core/failpoint.h"
+#include "replica/clock.h"
+#include "replica/replication_session.h"
+#include "replica/transport.h"
+#include "store/document_store.h"
+#include "store/mirror_store.h"
+#include "workload/update_stream.h"
+
+namespace ltree {
+namespace replica {
+namespace {
+
+constexpr const char* kSpecs[] = {"ltree:16:4", "ltree:16:4:purge",
+                                  "virtual:16:4", "gap:64", "sequential",
+                                  "bender"};
+
+struct Scenario {
+  const char* name = "";
+  FaultOptions faults;          // seed is overridden per spec
+  bool server_failpoint = false;
+  /// Tiny feed to force snapshot degradation under this fault class too.
+  uint64_t feed_capacity = 4096;
+};
+
+std::vector<Scenario> Scenarios() {
+  std::vector<Scenario> scenarios;
+  {
+    Scenario s;
+    s.name = "drop";
+    s.faults.drop = 0.25;
+    scenarios.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "duplicate";
+    s.faults.duplicate = 0.35;
+    scenarios.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "reorder";
+    s.faults.reorder = 0.35;
+    scenarios.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "truncate";
+    s.faults.truncate = 0.3;
+    scenarios.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "bit-flip";
+    s.faults.bit_flip = 0.3;
+    scenarios.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "stall";
+    s.faults.stall = 0.4;
+    s.faults.stall_ms = 120;  // past the 50ms request timeout
+    scenarios.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "server-failpoint";
+    s.server_failpoint = true;
+    scenarios.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "everything";
+    s.feed_capacity = 64;
+    s.faults.drop = 0.08;
+    s.faults.duplicate = 0.08;
+    s.faults.reorder = 0.08;
+    s.faults.truncate = 0.08;
+    s.faults.bit_flip = 0.08;
+    s.faults.stall = 0.08;
+    s.faults.stall_ms = 120;
+    s.server_failpoint = true;
+    scenarios.push_back(s);
+  }
+  return scenarios;
+}
+
+uint64_t ClassHits(const Scenario& scenario, const FaultStats& stats) {
+  uint64_t hits = 0;
+  if (scenario.faults.drop > 0) hits += stats.drops;
+  if (scenario.faults.duplicate > 0) hits += stats.duplicates;
+  if (scenario.faults.reorder > 0) hits += stats.reorders;
+  if (scenario.faults.truncate > 0) hits += stats.truncations;
+  if (scenario.faults.bit_flip > 0) hits += stats.bit_flips;
+  if (scenario.faults.stall > 0) hits += stats.stalls;
+  return hits;
+}
+
+void RunChaos(const std::string& spec, const Scenario& scenario,
+              uint64_t seed) {
+  store::DocStoreOptions store_options;
+  store_options.num_shards = 4;
+  store_options.scheme_spec = spec;
+  store_options.feed_capacity = scenario.feed_capacity;
+  auto made = store::DocumentStore::Make(store_options);
+  ASSERT_TRUE(made.ok()) << made.status().ToString();
+  std::unique_ptr<store::DocumentStore> primary = std::move(*made);
+
+  const uint64_t kDocs = 8;
+  for (store::DocId doc = 0; doc < kDocs; ++doc) {
+    ASSERT_TRUE(primary->CreateDocument(doc).ok());
+  }
+
+  PrimaryEndpoint endpoint(primary.get(), primary.get());
+  FakeClock clock;
+  FaultOptions faults = scenario.faults;
+  faults.seed = seed;
+  FaultyTransport transport(&endpoint, &clock, faults);
+
+  store::MirrorStore mirror(primary->num_shards());
+  SessionOptions session_options;
+  session_options.subscriber_id = seed;
+  session_options.request_timeout_ms = 50;
+  session_options.max_attempts = 64;  // the bounded retry budget
+  session_options.base_backoff_ms = 1;
+  session_options.max_backoff_ms = 32;
+  session_options.jitter = 0.25;
+  session_options.jitter_seed = seed * 3 + 1;
+  session_options.poison_after = 16;
+  ReplicationSession session(&mirror, &transport, &clock, session_options);
+
+  // Multi-session Zipf-skewed edit script, synced every 60 ops.
+  workload::MultiSessionStream sessions(
+      {.num_docs = kDocs,
+       .num_sessions = 3,
+       .doc_zipf_theta = 1.1,
+       .session_stream = {.kind = workload::StreamKind::kMixed,
+                          .erase_fraction = 0.3,
+                          .seed = seed}});
+  Rng script_rng(seed * 31 + 7);
+  const int kOps = 600;
+  const int kSyncEvery = 60;
+  for (int i = 0; i < kOps; ++i) {
+    const workload::DocOp op = sessions.Next(
+        [&](uint64_t doc) { return primary->DocSize(doc).ValueOrDie(); });
+    if (script_rng.Bernoulli(0.02)) {
+      const uint64_t size = primary->DocSize(op.doc).ValueOrDie();
+      const uint64_t rank = size == 0 ? 0 : script_rng.Uniform(size);
+      ASSERT_TRUE(primary->InsertBatchAfterRank(op.doc, rank, 20).ok());
+    } else {
+      ASSERT_TRUE(primary->Apply(op.doc, op.op).ok());
+    }
+    if ((i + 1) % kSyncEvery != 0) continue;
+
+    if (scenario.server_failpoint) {
+      // A server-side outage at the start of every segment: the first few
+      // serves fail with a store-level timeout the session must absorb.
+      failpoint::Arm("store.catchup", Status::TimedOut("server busy"),
+                     /*times=*/3);
+    }
+    const Status round = session.SyncRound();
+    ASSERT_TRUE(round.ok())
+        << scenario.name << "/" << spec << " op " << i << ": "
+        << round.ToString();
+    const Status eq = mirror.CheckEquivalent(*primary);
+    ASSERT_TRUE(eq.ok()) << scenario.name << "/" << spec << " op " << i
+                         << ": " << eq.ToString();
+  }
+  failpoint::DisarmAll();
+
+  // The scenario must have genuinely exercised its fault class...
+  if (scenario.server_failpoint) {
+    EXPECT_GT(failpoint::Hits("store.catchup"), 0u)
+        << scenario.name << "/" << spec;
+  }
+  const FaultStats& fstats = transport.stats();
+  if (ClassHits(scenario, fstats) == 0 && !scenario.server_failpoint) {
+    FAIL() << scenario.name << "/" << spec
+           << ": fault class never fired (calls=" << fstats.calls << ")";
+  }
+  // ...and no damaged frame may ever have reached the mirror: corruption
+  // surfaces as retries (wire_corruptions / server echoes), never as
+  // protocol violations or poisoning.
+  EXPECT_FALSE(session.poisoned()) << session.poison_reason();
+  EXPECT_EQ(session.stats().protocol_violations, 0u)
+      << scenario.name << "/" << spec;
+  const audit::Report session_audit = session.Validate();
+  EXPECT_TRUE(session_audit.ok()) << session_audit.ToString();
+  const audit::Report store_audit = primary->Validate();
+  EXPECT_TRUE(store_audit.ok()) << store_audit.ToString();
+}
+
+class ChaosTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  void TearDown() override { failpoint::DisarmAll(); }
+};
+
+TEST_P(ChaosTest, ConvergesUnderEveryFaultClass) {
+  uint64_t seed = 1;
+  for (const Scenario& scenario : Scenarios()) {
+    SCOPED_TRACE(scenario.name);
+    RunChaos(GetParam(), scenario, seed++);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, ChaosTest, ::testing::ValuesIn(kSpecs),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == ':') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace replica
+}  // namespace ltree

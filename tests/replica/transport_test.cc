@@ -1,0 +1,305 @@
+// FaultyTransport and PrimaryEndpoint tests: deterministic replay, every
+// fault class actually fires and is counted, endpoint behavior for good,
+// mangled and unexpected requests, and the "replica.serve" failpoint.
+
+#include "replica/transport.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/failpoint.h"
+#include "replica/clock.h"
+#include "replica/wire_format.h"
+#include "store/document_store.h"
+
+namespace ltree {
+namespace replica {
+namespace {
+
+std::unique_ptr<store::DocumentStore> MakePrimary(uint32_t shards = 2,
+                                                  uint64_t feed_capacity =
+                                                      4096) {
+  store::DocStoreOptions options;
+  options.num_shards = shards;
+  options.scheme_spec = "ltree:16:4";
+  options.feed_capacity = feed_capacity;
+  auto made = store::DocumentStore::Make(options);
+  EXPECT_TRUE(made.ok());
+  std::unique_ptr<store::DocumentStore> primary = std::move(*made);
+  EXPECT_TRUE(primary->CreateDocument(0).ok());
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(primary->Append(0).ok());
+  return primary;
+}
+
+// --------------------------------------------------------------- endpoint
+
+TEST(PrimaryEndpointTest, ServesCatchUpRequests) {
+  auto primary = MakePrimary();
+  PrimaryEndpoint endpoint(primary.get());
+  const uint32_t shard = primary->ShardOf(0);
+
+  const auto raw =
+      endpoint.Call(EncodeFrame(MakeCatchUpRequestFrame(shard, 0)), 50);
+  ASSERT_TRUE(raw.ok());
+  const Result<Frame> frame = DecodeFrame(*raw);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame->type, FrameType::kDelta);
+  EXPECT_EQ(frame->shard, shard);
+  EXPECT_EQ(frame->events.size(), 10u);
+  EXPECT_EQ(endpoint.requests_served(), 1u);
+  EXPECT_EQ(endpoint.bad_requests(), 0u);
+}
+
+TEST(PrimaryEndpointTest, MangledRequestComesBackAsCorruptionErrorFrame) {
+  auto primary = MakePrimary();
+  PrimaryEndpoint endpoint(primary.get());
+
+  std::vector<uint8_t> request = EncodeFrame(MakeCatchUpRequestFrame(0, 0));
+  request[9] ^= 0x40;  // damage the payload; CRC now mismatches
+  const auto raw = endpoint.Call(request, 50);
+  ASSERT_TRUE(raw.ok());  // transport-level success: an error FRAME
+  const Result<Frame> frame = DecodeFrame(*raw);
+  ASSERT_TRUE(frame.ok());
+  ASSERT_EQ(frame->type, FrameType::kError);
+  EXPECT_TRUE(ErrorFrameStatus(*frame).IsCorruption());
+  EXPECT_EQ(endpoint.bad_requests(), 1u);
+}
+
+TEST(PrimaryEndpointTest, StoreErrorsCrossAsErrorFrames) {
+  auto primary = MakePrimary();
+  PrimaryEndpoint endpoint(primary.get());
+
+  // Out-of-range shard: the store refuses, the status crosses the wire.
+  const auto raw =
+      endpoint.Call(EncodeFrame(MakeCatchUpRequestFrame(99, 0)), 50);
+  ASSERT_TRUE(raw.ok());
+  const Result<Frame> frame = DecodeFrame(*raw);
+  ASSERT_TRUE(frame.ok());
+  ASSERT_EQ(frame->type, FrameType::kError);
+  EXPECT_FALSE(ErrorFrameStatus(*frame).ok());
+}
+
+TEST(PrimaryEndpointTest, UnexpectedRequestTypeIsRejected) {
+  auto primary = MakePrimary();
+  PrimaryEndpoint endpoint(primary.get());
+
+  const auto raw = endpoint.Call(EncodeFrame(MakeAckFrame()), 50);
+  ASSERT_TRUE(raw.ok());
+  const Result<Frame> frame = DecodeFrame(*raw);
+  ASSERT_TRUE(frame.ok());
+  ASSERT_EQ(frame->type, FrameType::kError);
+  EXPECT_TRUE(ErrorFrameStatus(*frame).IsInvalidArgument());
+  EXPECT_EQ(endpoint.bad_requests(), 1u);
+}
+
+TEST(PrimaryEndpointTest, RegisterRoutesToRegistryOrNotImplemented) {
+  auto primary = MakePrimary();
+  const std::vector<uint8_t> request = EncodeFrame(
+      MakeRegisterFrame(7, store::StateVector(primary->num_shards())));
+
+  PrimaryEndpoint read_only(primary.get());
+  auto raw = read_only.Call(request, 50);
+  ASSERT_TRUE(raw.ok());
+  ASSERT_EQ(DecodeFrame(*raw)->type, FrameType::kError);
+  EXPECT_TRUE(ErrorFrameStatus(*DecodeFrame(*raw)).IsNotImplemented());
+
+  PrimaryEndpoint writable(primary.get(), primary.get());
+  raw = writable.Call(request, 50);
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(DecodeFrame(*raw)->type, FrameType::kAck);
+  EXPECT_EQ(primary->num_subscribers(), 1u);
+}
+
+TEST(PrimaryEndpointTest, ServeFailpointInjectsServerSideOutage) {
+  auto primary = MakePrimary();
+  PrimaryEndpoint endpoint(primary.get());
+  failpoint::ScopedFailpoint fp("replica.serve",
+                                Status::TimedOut("injected outage"),
+                                /*times=*/2);
+
+  for (int i = 0; i < 2; ++i) {
+    const auto raw =
+        endpoint.Call(EncodeFrame(MakeCatchUpRequestFrame(0, 0)), 50);
+    ASSERT_TRUE(raw.ok());
+    const Result<Frame> frame = DecodeFrame(*raw);
+    ASSERT_TRUE(frame.ok());
+    ASSERT_EQ(frame->type, FrameType::kError);
+    EXPECT_TRUE(ErrorFrameStatus(*frame).IsTimedOut());
+  }
+  // The failpoint was bounded to two hits; service resumes.
+  const auto raw =
+      endpoint.Call(EncodeFrame(MakeCatchUpRequestFrame(0, 0)), 50);
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(DecodeFrame(*raw)->type, FrameType::kDelta);
+}
+
+// -------------------------------------------------------- faulty transport
+
+TEST(FaultyTransportTest, NoFaultsIsTransparent) {
+  auto primary = MakePrimary();
+  PrimaryEndpoint endpoint(primary.get());
+  FakeClock clock;
+  FaultyTransport transport(&endpoint, &clock, FaultOptions{});
+
+  const std::vector<uint8_t> request =
+      EncodeFrame(MakeCatchUpRequestFrame(primary->ShardOf(0), 0));
+  const auto direct = endpoint.Call(request, 50);
+  const auto via = transport.Call(request, 50);
+  ASSERT_TRUE(via.ok());
+  EXPECT_EQ(*via, *direct);
+  EXPECT_EQ(transport.stats().clean, 1u);
+  EXPECT_EQ(clock.total_slept_ms(), 0u);
+}
+
+TEST(FaultyTransportTest, SameSeedSameFaultSchedule) {
+  auto primary = MakePrimary();
+  const std::vector<uint8_t> request =
+      EncodeFrame(MakeCatchUpRequestFrame(primary->ShardOf(0), 0));
+
+  FaultOptions options;
+  options.seed = 1234;
+  options.drop = 0.3;
+  options.bit_flip = 0.3;
+
+  std::vector<bool> ok_pattern[2];
+  for (int run = 0; run < 2; ++run) {
+    PrimaryEndpoint endpoint(primary.get());
+    FakeClock clock;
+    FaultyTransport transport(&endpoint, &clock, options);
+    for (int i = 0; i < 50; ++i) {
+      const auto response = transport.Call(request, 50);
+      ok_pattern[run].push_back(response.ok());
+    }
+  }
+  EXPECT_EQ(ok_pattern[0], ok_pattern[1]);
+}
+
+TEST(FaultyTransportTest, DropsTimeOutAndConsumeTheDeadline) {
+  auto primary = MakePrimary();
+  PrimaryEndpoint endpoint(primary.get());
+  FakeClock clock;
+  FaultOptions options;
+  options.seed = 9;
+  options.drop = 1.0;
+  FaultyTransport transport(&endpoint, &clock, options);
+
+  const auto response =
+      transport.Call(EncodeFrame(MakeCatchUpRequestFrame(0, 0)), 75);
+  ASSERT_FALSE(response.ok());
+  EXPECT_TRUE(response.status().IsTimedOut());
+  EXPECT_EQ(transport.stats().drops, 1u);
+  EXPECT_EQ(clock.total_slept_ms(), 75u);
+}
+
+TEST(FaultyTransportTest, StallPastDeadlineTimesOutShortStallDelivers) {
+  auto primary = MakePrimary();
+  PrimaryEndpoint endpoint(primary.get());
+  const std::vector<uint8_t> request =
+      EncodeFrame(MakeCatchUpRequestFrame(0, 0));
+
+  FaultOptions options;
+  options.seed = 5;
+  options.stall = 1.0;
+  options.stall_ms = 200;
+  {
+    FakeClock clock;
+    FaultyTransport transport(&endpoint, &clock, options);
+    const auto response = transport.Call(request, 100);  // 200ms stall > 100ms
+    ASSERT_FALSE(response.ok());
+    EXPECT_TRUE(response.status().IsTimedOut());
+    EXPECT_EQ(transport.stats().stalls, 1u);
+  }
+  {
+    options.stall_ms = 30;
+    FakeClock clock;
+    FaultyTransport transport(&endpoint, &clock, options);
+    const auto response = transport.Call(request, 100);  // late but in time
+    ASSERT_TRUE(response.ok());
+    EXPECT_TRUE(DecodeFrame(*response).ok());
+    EXPECT_EQ(clock.total_slept_ms(), 30u);
+  }
+}
+
+TEST(FaultyTransportTest, TruncationAndBitFlipsAreCaughtByDecode) {
+  auto primary = MakePrimary();
+  PrimaryEndpoint endpoint(primary.get());
+  FakeClock clock;
+  FaultOptions options;
+  options.seed = 21;
+  options.truncate = 0.5;
+  options.bit_flip = 0.5;
+  FaultyTransport transport(&endpoint, &clock, options);
+
+  const std::vector<uint8_t> request =
+      EncodeFrame(MakeCatchUpRequestFrame(primary->ShardOf(0), 0));
+  int corrupted = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto response = transport.Call(request, 50);
+    if (!response.ok()) continue;  // endpoint answered an error frame
+    const Result<Frame> frame = DecodeFrame(*response);
+    if (!frame.ok()) {
+      EXPECT_TRUE(frame.status().IsCorruption());
+      ++corrupted;
+    }
+  }
+  EXPECT_GT(corrupted, 0);
+  EXPECT_GT(transport.stats().truncations + transport.stats().bit_flips, 0u);
+}
+
+TEST(FaultyTransportTest, DuplicateReplaysThePreviousResponse) {
+  auto primary = MakePrimary();
+  PrimaryEndpoint endpoint(primary.get());
+  FakeClock clock;
+  FaultOptions options;
+  options.seed = 3;
+  options.duplicate = 1.0;
+  FaultyTransport transport(&endpoint, &clock, options);
+  const uint32_t shard = primary->ShardOf(0);
+
+  // First exchange: nothing to duplicate yet — delivered fresh.
+  const auto first =
+      transport.Call(EncodeFrame(MakeCatchUpRequestFrame(shard, 0)), 50);
+  ASSERT_TRUE(first.ok());
+  // Second exchange asks from a LATER position but receives a replay of
+  // the first response.
+  const auto second =
+      transport.Call(EncodeFrame(MakeCatchUpRequestFrame(shard, 5)), 50);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*second, *first);
+  EXPECT_GE(transport.stats().duplicates, 1u);
+}
+
+TEST(FaultyTransportTest, ReorderHoldsAResponseAndDeliversItLater) {
+  auto primary = MakePrimary();
+  PrimaryEndpoint endpoint(primary.get());
+  FakeClock clock;
+  FaultOptions options;
+  options.seed = 11;
+  options.reorder = 1.0;
+  FaultyTransport transport(&endpoint, &clock, options);
+  const uint32_t shard = primary->ShardOf(0);
+
+  // First exchange: its response is held back; the caller times out.
+  const auto first =
+      transport.Call(EncodeFrame(MakeCatchUpRequestFrame(shard, 0)), 50);
+  ASSERT_FALSE(first.ok());
+  EXPECT_TRUE(first.status().IsTimedOut());
+  EXPECT_EQ(transport.stats().reorders, 1u);
+
+  // Second exchange (different position): the HELD response from the
+  // first request arrives instead.
+  const auto second =
+      transport.Call(EncodeFrame(MakeCatchUpRequestFrame(shard, 7)), 50);
+  ASSERT_TRUE(second.ok());
+  const Result<Frame> frame = DecodeFrame(*second);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->from_seq, 0u);  // the first request's answer
+}
+
+}  // namespace
+}  // namespace replica
+}  // namespace ltree
