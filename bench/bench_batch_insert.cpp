@@ -44,6 +44,7 @@ struct BatchRunResult {
   uint64_t nodes_reused = 0;
   uint64_t nodes_released = 0;
   uint64_t heap_allocs = 0;  // actual system allocations (arena chunks)
+  bench::LatencySummary op_latency;  // per-InsertBatchAfter call, ns
 
   uint64_t AllocRequests() const { return nodes_allocated + nodes_reused; }
 };
@@ -63,18 +64,22 @@ BatchRunResult RunBatched(const Params& params, uint64_t initial,
   uint64_t remaining = total_leaves;
   uint64_t next_cookie = initial;
   const uint64_t chunks_before = tree->arena_stats().chunks;
+  bench::LatencyCollector latency(total_leaves / k + 1);
   Timer timer;
   while (remaining > 0) {
     const uint64_t batch = std::min(k, remaining);
     batch_cookies.resize(batch);
     for (uint64_t i = 0; i < batch; ++i) batch_cookies[i] = next_cookie++;
     const size_t r = static_cast<size_t>(rng.Uniform(handles.size()));
+    const Timer op_timer;
     LTREE_CHECK_OK(
         tree->InsertBatchAfter(handles[r], batch_cookies, &handles));
+    latency.Record(op_timer.ElapsedNanos());
     remaining -= batch;
   }
   BatchRunResult out;
   out.wall_ms = timer.ElapsedMillis();
+  out.op_latency = latency.Summarize();
   LTREE_CHECK_OK(tree->CheckInvariants());
   const LTreeStats& st = tree->stats();
   out.cost_per_leaf = st.AmortizedCostPerInsert();
@@ -159,6 +164,7 @@ int main(int argc, char** argv) {
         .Field("relabel_passes", r.relabel_passes)
         .Field("escalations", r.escalations)
         .Field("coalesced_regions", r.coalesced_regions);
+    r.op_latency.EmitFields(&json, "op");
   }
   std::printf(
       "\nExpected: the measured column decreases as k grows, tracking the "

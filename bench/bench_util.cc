@@ -197,5 +197,45 @@ bool JsonWriter::WriteFile(const std::string& path) const {
   return true;
 }
 
+namespace {
+
+// Nearest-rank percentile over a sorted buffer: the smallest sample with
+// at least q of the distribution at or below it.
+double Percentile(const std::vector<uint64_t>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  size_t rank = static_cast<size_t>(q * static_cast<double>(sorted.size()));
+  if (rank >= sorted.size()) rank = sorted.size() - 1;
+  return static_cast<double>(sorted[rank]);
+}
+
+}  // namespace
+
+LatencySummary LatencyCollector::Summarize() const {
+  LatencySummary out;
+  out.count = samples_ns_.size();
+  if (samples_ns_.empty()) return out;
+  std::sort(samples_ns_.begin(), samples_ns_.end());
+  out.p50_ns = Percentile(samples_ns_, 0.50);
+  out.p90_ns = Percentile(samples_ns_, 0.90);
+  out.p99_ns = Percentile(samples_ns_, 0.99);
+  out.p999_ns = Percentile(samples_ns_, 0.999);
+  out.max_ns = static_cast<double>(samples_ns_.back());
+  double sum = 0.0;
+  for (uint64_t s : samples_ns_) sum += static_cast<double>(s);
+  out.mean_ns = sum / static_cast<double>(samples_ns_.size());
+  return out;
+}
+
+void LatencySummary::EmitFields(JsonWriter* json,
+                                const std::string& prefix) const {
+  json->Field(prefix + "_samples", count)
+      .Field(prefix + "_p50_ns", p50_ns)
+      .Field(prefix + "_p90_ns", p90_ns)
+      .Field(prefix + "_p99_ns", p99_ns)
+      .Field(prefix + "_p999_ns", p999_ns)
+      .Field(prefix + "_mean_ns", mean_ns)
+      .Field(prefix + "_max_ns", max_ns);
+}
+
 }  // namespace bench
 }  // namespace ltree

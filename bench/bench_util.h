@@ -7,6 +7,7 @@
 #ifndef LTREE_BENCH_BENCH_UTIL_H_
 #define LTREE_BENCH_BENCH_UTIL_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -81,6 +82,61 @@ class JsonWriter {
   std::string bench_name_;
   Fields top_;
   std::vector<Fields> records_;
+};
+
+/// Keeps the compiler from eliding a benchmarked computation whose result
+/// is otherwise dead (the classic empty-asm sink).
+template <typename T>
+inline void DoNotOptimize(T const& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+
+/// Tail-latency summary of one collector's samples, in nanoseconds.
+struct LatencySummary {
+  uint64_t count = 0;
+  double p50_ns = 0.0;
+  double p90_ns = 0.0;
+  double p99_ns = 0.0;
+  double p999_ns = 0.0;
+  double mean_ns = 0.0;
+  double max_ns = 0.0;
+
+  /// Emits the percentile fields (prefixed, e.g. "op_p99_ns") into the
+  /// writer's current record.
+  void EmitFields(class JsonWriter* json, const std::string& prefix) const;
+};
+
+/// Per-operation latency recorder for the tail-latency columns of the
+/// perf-trajectory benches: call Record(ns) per op (or Sample() around it),
+/// then Summarize() for p50/p90/p99/p999. Percentiles use the
+/// nearest-rank method over the sorted sample buffer, so with fewer than
+/// 1000 samples p999 degrades to the max — callers wanting a meaningful
+/// tail record at least ~10k ops. Thread-compatible: one collector per
+/// thread, Merge() the buffers afterwards.
+class LatencyCollector {
+ public:
+  explicit LatencyCollector(size_t expected_samples = 0) {
+    if (expected_samples > 0) samples_ns_.reserve(expected_samples);
+  }
+
+  void Record(int64_t ns) {
+    samples_ns_.push_back(ns < 0 ? uint64_t{0}
+                                 : static_cast<uint64_t>(ns));
+  }
+
+  /// Absorbs another thread's samples (after it has quiesced).
+  void Merge(const LatencyCollector& other) {
+    samples_ns_.insert(samples_ns_.end(), other.samples_ns_.begin(),
+                       other.samples_ns_.end());
+  }
+
+  size_t count() const { return samples_ns_.size(); }
+
+  /// Sorts the buffer and computes the summary (empty buffer -> zeros).
+  LatencySummary Summarize() const;
+
+ private:
+  mutable std::vector<uint64_t> samples_ns_;
 };
 
 }  // namespace bench

@@ -44,9 +44,8 @@ uint64_t ChildBufferBytes(const Node* n) {
 }  // namespace
 
 uint64_t LTree::ApproxHeapBytes() const {
-  uint64_t bytes = arena_.stats().chunks * NodeArena::kChunkNodes *
-                       sizeof(Node) +
-                   ChildBufferBytes(root_);
+  uint64_t bytes =
+      arena_.stats().chunks * NodeArena::kChunkBytes + ChildBufferBytes(root_);
   // Free-list nodes keep their children buffers for reuse; count them too.
   arena_.ForEachFree([&bytes](const Node* n) {
     bytes += n->children.capacity() * sizeof(Node*);
@@ -424,12 +423,12 @@ uint64_t LTree::MaybePurge(std::vector<Node*>* leaves) {
   size_t w = 0;
   if (live == 0) {
     // Never leave a subtree empty: keep one tombstone as a placeholder.
-    for (size_t i = 1; i < v.size(); ++i) arena_.Release(v[i]);
+    for (size_t i = 1; i < v.size(); ++i) RetireLeaf(v[i]);
     w = 1;
   } else {
     for (Node* leaf : v) {
       if (leaf->deleted) {
-        arena_.Release(leaf);
+        RetireLeaf(leaf);
       } else {
         v[w++] = leaf;
       }
@@ -439,6 +438,19 @@ uint64_t LTree::MaybePurge(std::vector<Node*>* leaves) {
   stats_.tombstones_purged += purged;
   v.resize(w);
   return purged;
+}
+
+void LTree::RetireLeaf(Node* leaf) {
+  if (epoch_ == nullptr) {
+    arena_.Release(leaf);
+    return;
+  }
+  epoch_->Retire(
+      leaf,
+      [](void* obj, void* ctx) {
+        static_cast<NodeArena*>(ctx)->Release(static_cast<Node*>(obj));
+      },
+      &arena_);
 }
 
 // --------------------------------------------------------------------------
@@ -603,7 +615,7 @@ uint32_t LTree::label_bits() const {
 
 Label LTree::max_label() const {
   Node* last = RightmostLeaf(root_);
-  return last == nullptr ? 0 : last->num;
+  return last == nullptr ? Label{0} : last->num.load();
 }
 
 std::vector<Label> LTree::LiveLabels() const {

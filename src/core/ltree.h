@@ -30,6 +30,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "core/batch_plan.h"
+#include "core/epoch.h"
 #include "core/ltree_stats.h"
 #include "core/node.h"
 #include "core/node_arena.h"
@@ -162,6 +163,16 @@ class LTree {
   /// Receives label-change notifications; may be nullptr.
   void set_listener(RelabelListener* listener) { listener_ = listener; }
 
+  /// Attaches an epoch manager for concurrent readers: tombstone-purged
+  /// leaves are retired through it instead of released straight to the
+  /// arena, so a reader loading `label(handle)` under a ReadGuard never
+  /// observes a recycled node. Internal skeleton nodes are still released
+  /// immediately — readers hold only leaf handles, never internal pointers.
+  /// The manager must outlive the tree, and the owner must drain it
+  /// (ReclaimAllUnsafe) before the tree's arena dies.
+  void set_epoch(epoch::EpochManager* epoch) { epoch_ = epoch; }
+  epoch::EpochManager* epoch() const { return epoch_; }
+
   /// Labels of live leaves, in document order.
   std::vector<Label> LiveLabels() const;
   /// Labels of all leaf slots (including tombstones), in document order.
@@ -238,6 +249,10 @@ class LTree {
   /// leaving leaf nodes alive (they are reused by rebuilds).
   void ReleaseInternalNodes(Node* n);
 
+  /// Frees a purged leaf: epoch-retired when a manager is attached (readers
+  /// may still hold the handle), released to the arena otherwise.
+  void RetireLeaf(Node* leaf);
+
   static void FixIndicesFrom(Node* parent, uint32_t from);
 
   Params params_;
@@ -248,6 +263,7 @@ class LTree {
   mutable LTreeStats stats_;      // mutable: stats() refreshes arena fields
   NodeArenaStats arena_base_;     ///< arena snapshot at last ResetStats()
   RelabelListener* listener_ = nullptr;
+  epoch::EpochManager* epoch_ = nullptr;  ///< not owned; may be nullptr
 
   // Scratch buffers reused across rebuilds so RebuildAt/RebuildRoot (and
   // the escalation loop) stop re-allocating their leaf and piece vectors on

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/atomic_cell.h"
 #include "core/params.h"
 
 namespace ltree {
@@ -17,12 +18,18 @@ namespace ltree {
 /// One L-Tree node. Leaves have height 0, no children, and carry the client
 /// cookie; internal nodes aggregate `leaf_count` (the paper's l(t), counting
 /// tombstoned leaves too, since a tombstone still occupies a label slot).
+///
+/// `num` and `cookie` are AtomicCells: the concurrent LabelStore mode lets
+/// reader threads load a leaf's label/cookie through a held LeafHandle while
+/// the serialized writer relabels (release stores, acquire loads — see
+/// core/atomic_cell.h). All other fields are structural and only touched
+/// under the writer's exclusive section; readers never walk them.
 struct Node {
   Node* parent = nullptr;
   std::vector<Node*> children;  ///< empty iff leaf
 
   /// The paper's num(t): smallest label of the node's interval.
-  Label num = 0;
+  AtomicCell<Label> num = 0;
   /// l(t): number of leaf slots in this subtree (1 for a leaf).
   uint64_t leaf_count = 1;
   /// h(t): edges to the leaf level; 0 for leaves.
@@ -31,7 +38,7 @@ struct Node {
   uint32_t index_in_parent = 0;
 
   /// Client payload (leaves only).
-  LeafCookie cookie = 0;
+  AtomicCell<LeafCookie> cookie = 0;
   /// Tombstone flag (leaves only). Section 2.3: deletions only mark.
   bool deleted = false;
 

@@ -36,6 +36,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <new>
 #include <string>
 #include <vector>
 
@@ -67,6 +68,17 @@ class PoolArena {
   /// without pinning megabytes for a tiny tree.
   static constexpr size_t kChunkNodes = 256;
 
+  /// Every slot starts on a cache line: a node is never split across (or
+  /// shares a line's false-sharing tail with) its neighbor, which the
+  /// concurrent read mode and the planned SIMD node-scan layout both rely
+  /// on. Slots are padded to the next 64-byte multiple.
+  static constexpr size_t kSlotAlign = 64;
+  static constexpr size_t kSlotStride =
+      (sizeof(NodeT) + kSlotAlign - 1) / kSlotAlign * kSlotAlign;
+
+  /// Heap bytes per chunk (for ApproxHeapBytes accounting in the trees).
+  static constexpr size_t kChunkBytes = kChunkNodes * kSlotStride;
+
   PoolArena() = default;
   ~PoolArena() = default;  // chunks own every node, free list included
   PoolArena(const PoolArena&) = delete;
@@ -83,12 +95,12 @@ class PoolArena {
       return n;
     }
     if (used_in_last_chunk_ == kChunkNodes) {
-      chunks_.emplace_back(new NodeT[kChunkNodes]);
+      chunks_.emplace_back(new Chunk());
       used_in_last_chunk_ = 0;
       ++stats_.chunks;
     }
     ++stats_.fresh_allocs;
-    return &chunks_.back()[used_in_last_chunk_++];
+    return chunks_.back()->slot(used_in_last_chunk_++);
   }
 
   /// Returns `n` to the free list. The node must have been obtained from
@@ -117,7 +129,32 @@ class PoolArena {
   }
 
  private:
-  std::vector<std::unique_ptr<NodeT[]>> chunks_;
+  /// One over-aligned slab of kChunkNodes cache-line-aligned slots. Slots
+  /// are constructed up front and destroyed with the chunk, so teardown
+  /// still never walks the tree structure.
+  class Chunk {
+   public:
+    Chunk()
+        : raw_(static_cast<unsigned char*>(::operator new(
+              kChunkBytes, std::align_val_t{kSlotAlign}))) {
+      for (size_t i = 0; i < kChunkNodes; ++i) new (slot(i)) NodeT();
+    }
+    ~Chunk() {
+      for (size_t i = 0; i < kChunkNodes; ++i) slot(i)->~NodeT();
+      ::operator delete(raw_, std::align_val_t{kSlotAlign});
+    }
+    Chunk(const Chunk&) = delete;
+    Chunk& operator=(const Chunk&) = delete;
+
+    NodeT* slot(size_t i) {
+      return reinterpret_cast<NodeT*>(raw_ + i * kSlotStride);
+    }
+
+   private:
+    unsigned char* raw_;
+  };
+
+  std::vector<std::unique_ptr<Chunk>> chunks_;
   size_t used_in_last_chunk_ = kChunkNodes;  // "full" => first Allocate
                                              // opens a chunk
   NodeT* free_head_ = nullptr;  // intrusive list threaded by the Traits

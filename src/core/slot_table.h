@@ -1,0 +1,125 @@
+// Growable slot table whose elements stay address-stable under one writer
+// and many lock-free readers.
+//
+// The concurrent LabelStore stores (ltree_store.cc) keep per-handle state in
+// dense tables indexed by ItemHandle. `std::vector` cannot back those tables
+// once readers go lock-free: growth reallocates, and a reader dereferencing
+// the old buffer races the writer's free. ConcurrentSlotTable fixes the
+// layout instead of locking it:
+//
+//  * elements live in geometrically sized chunks (16, 32, 64, ... slots)
+//    that are never moved or freed while the table lives, so a reader's
+//    `&table[i]` stays valid across any amount of writer growth;
+//  * the chunk spine is a fixed array of atomic pointers (34 entries cover
+//    2^38 slots), published with release stores; readers locate a slot with
+//    two acquire loads and no locks;
+//  * `size` is an atomic published *after* the slot's contents (release),
+//    so a reader that observes `i < size()` also observes slot i's
+//    initialized state.
+//
+// Writer operations (PushBack, Resize) must be externally serialized, like
+// the store that owns the table. T must be default-constructible and is
+// typically a bundle of std::atomic fields.
+
+#ifndef LTREE_CORE_SLOT_TABLE_H_
+#define LTREE_CORE_SLOT_TABLE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace ltree {
+
+template <typename T>
+class ConcurrentSlotTable {
+ public:
+  ConcurrentSlotTable() = default;
+  ~ConcurrentSlotTable() {
+    for (uint32_t c = 0; c < kMaxChunks; ++c) {
+      delete[] chunks_[c].load(std::memory_order_relaxed);
+    }
+  }
+  ConcurrentSlotTable(const ConcurrentSlotTable&) = delete;
+  ConcurrentSlotTable& operator=(const ConcurrentSlotTable&) = delete;
+
+  /// Slots in chunk c: kFirstChunkSlots << c.
+  static constexpr uint64_t kFirstChunkSlots = 16;
+  static constexpr uint32_t kMaxChunks = 34;
+
+  // ------------------------------------------------------------ reader side
+
+  uint64_t size() const { return size_.load(std::memory_order_acquire); }
+
+  /// Slot access; `i` must be < size() as observed by this thread (readers)
+  /// or < the writer's own size (writer). Never invalidated by growth.
+  T& operator[](uint64_t i) {
+    const Loc loc = Locate(i);
+    return chunks_[loc.chunk].load(std::memory_order_acquire)[loc.offset];
+  }
+  const T& operator[](uint64_t i) const {
+    const Loc loc = Locate(i);
+    return chunks_[loc.chunk].load(std::memory_order_acquire)[loc.offset];
+  }
+
+  // ------------------------------------------------------------ writer side
+
+  /// Appends a default-constructed slot and returns it for initialization
+  /// *before* Publish(). The new slot is invisible to readers (size is
+  /// unchanged) until the writer calls Publish.
+  T& PushBack() {
+    const uint64_t i = writer_size_;
+    const Loc loc = Locate(i);
+    T* chunk = chunks_[loc.chunk].load(std::memory_order_relaxed);
+    if (chunk == nullptr) {
+      chunk = new T[kFirstChunkSlots << loc.chunk]();
+      chunks_[loc.chunk].store(chunk, std::memory_order_release);
+    }
+    ++writer_size_;
+    return chunk[loc.offset];
+  }
+
+  /// Publishes every slot appended so far: a reader that observes the new
+  /// size also observes the slots' initialized contents.
+  void Publish() { size_.store(writer_size_, std::memory_order_release); }
+
+  /// Writer's uncommitted size (>= size() between PushBack and Publish).
+  uint64_t writer_size() const { return writer_size_; }
+
+  /// Rolls back unpublished PushBacks: `n` must be >= the published size.
+  /// Chunks are kept (slots are reused by later PushBacks).
+  void ShrinkTo(uint64_t n) { writer_size_ = n; }
+
+  /// Chunk memory currently allocated, for ApproxHeapBytes accounting.
+  uint64_t ApproxHeapBytes() const {
+    uint64_t bytes = 0;
+    for (uint32_t c = 0; c < kMaxChunks; ++c) {
+      if (chunks_[c].load(std::memory_order_relaxed) != nullptr) {
+        bytes += (kFirstChunkSlots << c) * sizeof(T);
+      }
+    }
+    return bytes;
+  }
+
+ private:
+  struct Loc {
+    uint32_t chunk;
+    uint64_t offset;
+  };
+
+  /// Chunk c covers [kFirstChunkSlots*(2^c - 1), kFirstChunkSlots*(2^(c+1)-1)).
+  static Loc Locate(uint64_t i) {
+    const uint64_t block = i / kFirstChunkSlots + 1;  // >= 1
+    uint32_t chunk = 0;
+    for (uint64_t b = block; b > 1; b >>= 1) ++chunk;
+    const uint64_t chunk_first = kFirstChunkSlots * ((uint64_t{1} << chunk) - 1);
+    return Loc{chunk, i - chunk_first};
+  }
+
+  std::atomic<T*> chunks_[kMaxChunks] = {};
+  std::atomic<uint64_t> size_{0};
+  uint64_t writer_size_ = 0;  // writer-private until Publish()
+};
+
+}  // namespace ltree
+
+#endif  // LTREE_CORE_SLOT_TABLE_H_

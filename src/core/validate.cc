@@ -8,6 +8,7 @@
 #include "core/validate.h"
 
 #include <sstream>
+#include <unordered_set>
 
 #include "common/string_util.h"
 #include "core/ltree.h"
@@ -188,6 +189,15 @@ void AuditNode(const Node* node, const Node* expected_parent,
   }
 }
 
+/// Collects every node reachable from `node` (for the epoch-reclamation
+/// rule: a retired node must not be in this set).
+void CollectReachable(const Node* node,
+                      std::unordered_set<const void*>* out) {
+  if (node == nullptr) return;
+  out->insert(node);
+  for (const Node* child : node->children) CollectReachable(child, out);
+}
+
 }  // namespace
 
 void AuditLTree(const LTree& tree, Report* report) {
@@ -234,14 +244,38 @@ void AuditLTree(const LTree& tree, Report* report) {
                           static_cast<unsigned long long>(ctx.live)));
   }
   // Arena conservation: every node the pool considers live must be
-  // reachable from the root and vice versa.
-  if (ctx.reachable_nodes != tree.arena_stats().live()) {
+  // reachable from the root or sitting in an epoch bucket awaiting
+  // reclamation, and vice versa.
+  const epoch::EpochManager* epoch = tree.epoch();
+  const uint64_t pending = epoch != nullptr ? epoch->pending() : 0;
+  if (ctx.reachable_nodes + pending != tree.arena_stats().live()) {
     report->Add(
         "ltree:/", "arena-conservation",
-        StrFormat("%llu nodes reachable but the arena accounts %llu live",
+        StrFormat("%llu nodes reachable + %llu epoch-pending but the arena "
+                  "accounts %llu live",
                   static_cast<unsigned long long>(ctx.reachable_nodes),
+                  static_cast<unsigned long long>(pending),
                   static_cast<unsigned long long>(
                       tree.arena_stats().live())));
+  }
+  // Epoch reclamation: retired ∪ reachable must partition the live nodes —
+  // no retired node may still be reachable from the root (use-after-
+  // reclaim in waiting) and no node may sit in two buckets (double free).
+  if (epoch != nullptr && pending != 0) {
+    std::unordered_set<const void*> live_set;
+    CollectReachable(root, &live_set);
+    std::unordered_set<const void*> retired_set;
+    epoch->ForEachPending([&](const void* obj) {
+      if (live_set.count(obj) != 0) {
+        report->Add("ltree:/", "epoch-reclamation",
+                    StrFormat("retired node %p still reachable from the root",
+                              obj));
+      }
+      if (!retired_set.insert(obj).second) {
+        report->Add("ltree:/", "epoch-reclamation",
+                    StrFormat("node %p retired twice", obj));
+      }
+    });
   }
 }
 

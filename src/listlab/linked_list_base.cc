@@ -65,7 +65,7 @@ void LinkedListScheme::SetLabel(ListItem* item, Label label,
   if (listener_ != nullptr) listener_->OnRelabel(item->cookie, old, label);
 }
 
-Status LinkedListScheme::BulkLoad(std::span<const LeafCookie> cookies,
+Status LinkedListScheme::BulkLoadImpl(std::span<const LeafCookie> cookies,
                                   std::vector<ItemHandle>* handles) {
   if (live_ != 0 || !items_.empty()) {
     return Status::FailedPrecondition("BulkLoad requires an empty list");
@@ -100,27 +100,27 @@ Result<ItemHandle> LinkedListScheme::InsertLinked(ListItem* where,
   return item->handle;
 }
 
-Result<ItemHandle> LinkedListScheme::InsertAfter(ItemHandle pos,
+Result<ItemHandle> LinkedListScheme::InsertAfterImpl(ItemHandle pos,
                                                  LeafCookie cookie) {
   LTREE_ASSIGN_OR_RETURN(ListItem * where, FindLive(pos));
   return InsertLinked(where, cookie);
 }
 
-Result<ItemHandle> LinkedListScheme::InsertBefore(ItemHandle pos,
+Result<ItemHandle> LinkedListScheme::InsertBeforeImpl(ItemHandle pos,
                                                   LeafCookie cookie) {
   LTREE_ASSIGN_OR_RETURN(ListItem * where, FindLive(pos));
   return InsertLinked(where->prev, cookie);
 }
 
-Result<ItemHandle> LinkedListScheme::PushBack(LeafCookie cookie) {
+Result<ItemHandle> LinkedListScheme::PushBackImpl(LeafCookie cookie) {
   return InsertLinked(tail_, cookie);
 }
 
-Result<ItemHandle> LinkedListScheme::PushFront(LeafCookie cookie) {
+Result<ItemHandle> LinkedListScheme::PushFrontImpl(LeafCookie cookie) {
   return InsertLinked(nullptr, cookie);
 }
 
-Status LinkedListScheme::Erase(ItemHandle h) {
+Status LinkedListScheme::EraseImpl(ItemHandle h) {
   if (h >= items_.size() || items_[h] == nullptr) {
     return Status::NotFound("unknown item handle");
   }
@@ -144,6 +144,14 @@ Result<Label> LinkedListScheme::GetLabel(ItemHandle h) const {
 Result<LeafCookie> LinkedListScheme::GetCookie(ItemHandle h) const {
   LTREE_ASSIGN_OR_RETURN(ListItem * item, FindLive(h));
   return item->cookie;
+}
+
+void LinkedListScheme::SnapshotImpl(
+    std::vector<std::pair<Label, LeafCookie>>* out) const {
+  out->reserve(out->size() + live_);
+  for (const ListItem* it = head_; it != nullptr; it = it->next) {
+    out->emplace_back(it->label, it->cookie);
+  }
 }
 
 uint32_t LinkedListScheme::label_bits() const {

@@ -34,14 +34,6 @@ class LinkedListScheme : public LabelStore {
     return EraseSemantics::kPhysical;
   }
 
-  using LabelStore::BulkLoad;
-  Status BulkLoad(std::span<const LeafCookie> cookies,
-                  std::vector<ItemHandle>* handles) final;
-  Result<ItemHandle> InsertAfter(ItemHandle pos, LeafCookie cookie) final;
-  Result<ItemHandle> InsertBefore(ItemHandle pos, LeafCookie cookie) final;
-  Result<ItemHandle> PushBack(LeafCookie cookie) final;
-  Result<ItemHandle> PushFront(LeafCookie cookie) final;
-  Status Erase(ItemHandle h) final;
   Result<Label> GetLabel(ItemHandle h) const final;
   Result<LeafCookie> GetCookie(ItemHandle h) const final;
   uint64_t size() const final { return live_; }
@@ -63,6 +55,17 @@ class LinkedListScheme : public LabelStore {
   audit::Report Validate() const override;
 
  protected:
+  // Mutation bodies (serialized by LabelStore's public wrappers).
+  Status BulkLoadImpl(std::span<const LeafCookie> cookies,
+                      std::vector<ItemHandle>* handles) final;
+  Result<ItemHandle> InsertAfterImpl(ItemHandle pos, LeafCookie cookie) final;
+  Result<ItemHandle> InsertBeforeImpl(ItemHandle pos, LeafCookie cookie) final;
+  Result<ItemHandle> PushBackImpl(LeafCookie cookie) final;
+  Result<ItemHandle> PushFrontImpl(LeafCookie cookie) final;
+  Status EraseImpl(ItemHandle h) final;
+  void SnapshotImpl(
+      std::vector<std::pair<Label, LeafCookie>>* out) const final;
+
   /// Assigns initial labels for the n freshly linked items (head_ onward).
   /// Called once from BulkLoad; must not fire the listener.
   virtual Status AssignInitialLabels(uint64_t n) = 0;

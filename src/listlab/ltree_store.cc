@@ -25,6 +25,13 @@ std::string SchemeName(const char* kind, const Params& params) {
 
 LTreeStore::LTreeStore(std::unique_ptr<LTree> tree) : tree_(std::move(tree)) {
   tree_->set_listener(this);
+  tree_->set_epoch(&epoch_);
+}
+
+LTreeStore::~LTreeStore() {
+  // Drain retired leaves back to the arena while tree_ (and its arena) is
+  // still alive; legal because no reader can outlive the store.
+  epoch_.ReclaimAllUnsafe();
 }
 
 Result<std::unique_ptr<LTreeStore>> LTreeStore::Make(const Params& params) {
@@ -42,22 +49,26 @@ void LTreeStore::OnRelabel(LeafCookie cookie, Label old_label,
 }
 
 Result<LTree::LeafHandle> LTreeStore::LiveHandle(ItemHandle h) const {
-  if (h >= leaves_.size()) return Status::NotFound("unknown item handle");
-  if (erased_[h]) return Status::NotFound("item handle already erased");
-  return leaves_[h];
+  if (h >= slots_.size()) return Status::NotFound("unknown item handle");
+  const uintptr_t bits = slots_[h].load(std::memory_order_acquire);
+  if ((bits & kErasedBit) != 0) {
+    return Status::NotFound("item handle already erased");
+  }
+  return reinterpret_cast<LTree::LeafHandle>(bits);
 }
 
 ItemHandle LTreeStore::Register(LTree::LeafHandle handle,
                                 std::vector<ItemHandle>* handles) {
-  leaves_.push_back(handle);
-  erased_.push_back(false);
-  const ItemHandle h = leaves_.size() - 1;
+  slots_.PushBack().store(reinterpret_cast<uintptr_t>(handle),
+                          std::memory_order_release);
+  slots_.Publish();
+  const ItemHandle h = slots_.writer_size() - 1;
   if (handles != nullptr) handles->push_back(h);
   return h;
 }
 
-Status LTreeStore::BulkLoad(std::span<const LeafCookie> cookies,
-                            std::vector<ItemHandle>* handles) {
+Status LTreeStore::BulkLoadImpl(std::span<const LeafCookie> cookies,
+                                std::vector<ItemHandle>* handles) {
   std::vector<LTree::LeafHandle> fresh;
   LTREE_RETURN_IF_ERROR(tree_->BulkLoad(cookies, &fresh));
   for (LTree::LeafHandle h : fresh) Register(h, handles);
@@ -65,7 +76,8 @@ Status LTreeStore::BulkLoad(std::span<const LeafCookie> cookies,
   return Status::OK();
 }
 
-Result<ItemHandle> LTreeStore::InsertAfter(ItemHandle pos, LeafCookie cookie) {
+Result<ItemHandle> LTreeStore::InsertAfterImpl(ItemHandle pos,
+                                               LeafCookie cookie) {
   LTREE_ASSIGN_OR_RETURN(LTree::LeafHandle where, LiveHandle(pos));
   LTREE_ASSIGN_OR_RETURN(LTree::LeafHandle fresh,
                          tree_->InsertAfter(where, cookie));
@@ -74,8 +86,8 @@ Result<ItemHandle> LTreeStore::InsertAfter(ItemHandle pos, LeafCookie cookie) {
   return h;
 }
 
-Result<ItemHandle> LTreeStore::InsertBefore(ItemHandle pos,
-                                            LeafCookie cookie) {
+Result<ItemHandle> LTreeStore::InsertBeforeImpl(ItemHandle pos,
+                                                LeafCookie cookie) {
   LTREE_ASSIGN_OR_RETURN(LTree::LeafHandle where, LiveHandle(pos));
   LTREE_ASSIGN_OR_RETURN(LTree::LeafHandle fresh,
                          tree_->InsertBefore(where, cookie));
@@ -84,23 +96,23 @@ Result<ItemHandle> LTreeStore::InsertBefore(ItemHandle pos,
   return h;
 }
 
-Result<ItemHandle> LTreeStore::PushBack(LeafCookie cookie) {
+Result<ItemHandle> LTreeStore::PushBackImpl(LeafCookie cookie) {
   LTREE_ASSIGN_OR_RETURN(LTree::LeafHandle fresh, tree_->PushBack(cookie));
   const ItemHandle h = Register(fresh, nullptr);
   AutoValidate("PushBack");
   return h;
 }
 
-Result<ItemHandle> LTreeStore::PushFront(LeafCookie cookie) {
+Result<ItemHandle> LTreeStore::PushFrontImpl(LeafCookie cookie) {
   LTREE_ASSIGN_OR_RETURN(LTree::LeafHandle fresh, tree_->PushFront(cookie));
   const ItemHandle h = Register(fresh, nullptr);
   AutoValidate("PushFront");
   return h;
 }
 
-Status LTreeStore::InsertBatchAfter(ItemHandle pos,
-                                    std::span<const LeafCookie> cookies,
-                                    std::vector<ItemHandle>* handles) {
+Status LTreeStore::InsertBatchAfterImpl(ItemHandle pos,
+                                        std::span<const LeafCookie> cookies,
+                                        std::vector<ItemHandle>* handles) {
   LTREE_ASSIGN_OR_RETURN(LTree::LeafHandle where, LiveHandle(pos));
   std::vector<LTree::LeafHandle> fresh;
   LTREE_RETURN_IF_ERROR(tree_->InsertBatchAfter(where, cookies, &fresh));
@@ -109,9 +121,9 @@ Status LTreeStore::InsertBatchAfter(ItemHandle pos,
   return Status::OK();
 }
 
-Status LTreeStore::InsertBatchBefore(ItemHandle pos,
-                                     std::span<const LeafCookie> cookies,
-                                     std::vector<ItemHandle>* handles) {
+Status LTreeStore::InsertBatchBeforeImpl(ItemHandle pos,
+                                         std::span<const LeafCookie> cookies,
+                                         std::vector<ItemHandle>* handles) {
   LTREE_ASSIGN_OR_RETURN(LTree::LeafHandle where, LiveHandle(pos));
   std::vector<LTree::LeafHandle> fresh;
   LTREE_RETURN_IF_ERROR(tree_->InsertBatchBefore(where, cookies, &fresh));
@@ -120,8 +132,8 @@ Status LTreeStore::InsertBatchBefore(ItemHandle pos,
   return Status::OK();
 }
 
-Status LTreeStore::PushBackBatch(std::span<const LeafCookie> cookies,
-                                 std::vector<ItemHandle>* handles) {
+Status LTreeStore::PushBackBatchImpl(std::span<const LeafCookie> cookies,
+                                     std::vector<ItemHandle>* handles) {
   std::vector<LTree::LeafHandle> fresh;
   LTREE_RETURN_IF_ERROR(tree_->PushBackBatch(cookies, &fresh));
   for (LTree::LeafHandle h : fresh) Register(h, handles);
@@ -129,15 +141,17 @@ Status LTreeStore::PushBackBatch(std::span<const LeafCookie> cookies,
   return Status::OK();
 }
 
-Status LTreeStore::Erase(ItemHandle h) {
-  if (h >= leaves_.size()) return Status::NotFound("unknown item handle");
-  if (erased_[h]) {
+Status LTreeStore::EraseImpl(ItemHandle h) {
+  if (h >= slots_.size()) return Status::NotFound("unknown item handle");
+  const uintptr_t bits = slots_[h].load(std::memory_order_relaxed);
+  if ((bits & kErasedBit) != 0) {
     return Status::FailedPrecondition("item handle already erased");
   }
-  const LeafCookie cookie = tree_->cookie(leaves_[h]);
-  const Label last_label = tree_->label(leaves_[h]);
-  LTREE_RETURN_IF_ERROR(tree_->MarkDeleted(leaves_[h]));
-  erased_[h] = true;
+  const auto leaf = reinterpret_cast<LTree::LeafHandle>(bits);
+  const LeafCookie cookie = tree_->cookie(leaf);
+  const Label last_label = tree_->label(leaf);
+  LTREE_RETURN_IF_ERROR(tree_->MarkDeleted(leaf));
+  slots_[h].store(bits | kErasedBit, std::memory_order_release);
   if (listener_ != nullptr) listener_->OnErase(cookie, last_label);
   AutoValidate("Erase");
   return Status::OK();
@@ -151,6 +165,15 @@ Result<Label> LTreeStore::GetLabel(ItemHandle h) const {
 Result<LeafCookie> LTreeStore::GetCookie(ItemHandle h) const {
   LTREE_ASSIGN_OR_RETURN(LTree::LeafHandle where, LiveHandle(h));
   return tree_->cookie(where);
+}
+
+void LTreeStore::SnapshotImpl(
+    std::vector<std::pair<Label, LeafCookie>>* out) const {
+  out->reserve(out->size() + tree_->num_live_leaves());
+  for (LTree::LeafHandle leaf = tree_->FirstLiveLeaf(); leaf != nullptr;
+       leaf = tree_->NextLiveLeaf(leaf)) {
+    out->emplace_back(tree_->label(leaf), tree_->cookie(leaf));
+  }
 }
 
 const MaintStats& LTreeStore::stats() const {
@@ -177,27 +200,29 @@ audit::Report LTreeStore::Validate() const {
   audit::Report report;
   audit::AuditLTree(*tree_, &report);
   // Handle map vs. the tree: collect the live leaves by traversal, then
-  // check the non-erased handles map onto them one-to-one. leaves_[h] must
-  // never be dereferenced for an erased handle — a purge may have freed it.
+  // check the non-erased handles map onto them one-to-one. An erased
+  // slot's pointer must never be dereferenced — a purge may have freed it.
   std::unordered_map<const Node*, uint64_t> live_leaf_count;
   for (LTree::LeafHandle leaf = tree_->FirstLiveLeaf(); leaf != nullptr;
        leaf = tree_->NextLiveLeaf(leaf)) {
     ++live_leaf_count[leaf];
   }
   uint64_t live_handles = 0;
-  for (ItemHandle h = 0; h < leaves_.size(); ++h) {
+  for (ItemHandle h = 0; h < slots_.size(); ++h) {
     const std::string path = "store:/" + std::to_string(h);
-    if (erased_[h]) {
+    const uintptr_t bits = slots_[h].load(std::memory_order_acquire);
+    const auto leaf = reinterpret_cast<LTree::LeafHandle>(bits & ~kErasedBit);
+    if ((bits & kErasedBit) != 0) {
       // Without purging the tombstoned leaf must still be present.
       if (!tree_->params().purge_tombstones_on_split &&
-          !tree_->deleted(leaves_[h])) {
+          !tree_->deleted(leaf)) {
         report.Add(path, "handle-map",
                    "erased handle points at a non-tombstoned leaf");
       }
       continue;
     }
     ++live_handles;
-    auto it = live_leaf_count.find(leaves_[h]);
+    auto it = live_leaf_count.find(leaf);
     if (it == live_leaf_count.end()) {
       report.Add(path, "handle-map",
                  "live handle does not resolve to a live leaf");
@@ -225,6 +250,12 @@ audit::Report LTreeStore::Validate() const {
 VirtualLTreeStore::VirtualLTreeStore(std::unique_ptr<VirtualLTree> tree)
     : tree_(std::move(tree)) {
   tree_->set_listener(this);
+  tree_->set_epoch(&epoch_);
+}
+
+VirtualLTreeStore::~VirtualLTreeStore() {
+  // Drain retired B+-tree nodes while the tree's arena is still alive.
+  epoch_.ReclaimAllUnsafe();
 }
 
 Result<std::unique_ptr<VirtualLTreeStore>> VirtualLTreeStore::Make(
@@ -242,35 +273,40 @@ std::string VirtualLTreeStore::name() const {
 void VirtualLTreeStore::OnRelabel(LeafCookie cookie, Label old_label,
                                   Label new_label) {
   // The tree's leaf cookies are our item handles; the client payload lives
-  // in cookie_of_.
+  // in the slot. The slot may still be unpublished (a batch in flight
+  // relabeling its own fresh leaves), so bound by the writer's size.
   const ItemHandle h = cookie;
-  LTREE_CHECK(h < label_of_.size());
-  label_of_[h] = new_label;
+  LTREE_CHECK(h < slots_.writer_size());
+  VSlot& slot = slots_[h];
+  slot.label.store(new_label);
   if (listener_ != nullptr) {
-    listener_->OnRelabel(cookie_of_[h], old_label, new_label);
+    listener_->OnRelabel(slot.cookie.load(), old_label, new_label);
   }
 }
 
 Result<Label> VirtualLTreeStore::CurrentLabel(ItemHandle h) const {
-  if (h >= label_of_.size()) return Status::NotFound("unknown item handle");
-  if (erased_[h]) return Status::NotFound("item handle already erased");
-  return label_of_[h];
+  if (h >= slots_.size()) return Status::NotFound("unknown item handle");
+  const VSlot& slot = slots_[h];
+  if (slot.erased.load(std::memory_order_acquire)) {
+    return Status::NotFound("item handle already erased");
+  }
+  return slot.label.load();
 }
 
 ItemHandle VirtualLTreeStore::Reserve(std::span<const LeafCookie> cookies) {
-  const ItemHandle first = label_of_.size();
+  const ItemHandle first = slots_.writer_size();
   for (const LeafCookie cookie : cookies) {
-    label_of_.push_back(kInvalidLabel);
-    cookie_of_.push_back(cookie);
-    erased_.push_back(false);
+    // Slots are recycled after a rolled-back reserve, so reset every field.
+    VSlot& slot = slots_.PushBack();
+    slot.label.store(kInvalidLabel);
+    slot.cookie.store(cookie);
+    slot.erased.store(false, std::memory_order_relaxed);
   }
   return first;
 }
 
 void VirtualLTreeStore::Unreserve(uint64_t k) {
-  label_of_.resize(label_of_.size() - k);
-  cookie_of_.resize(cookie_of_.size() - k);
-  erased_.resize(erased_.size() - k);
+  slots_.ShrinkTo(slots_.writer_size() - k);
 }
 
 template <typename Op>
@@ -287,9 +323,10 @@ Status VirtualLTreeStore::RunBatch(std::span<const LeafCookie> cookies,
     return st;
   }
   for (size_t i = 0; i < labels.size(); ++i) {
-    label_of_[first + i] = labels[i];
+    slots_[first + i].label.store(labels[i]);
     if (handles != nullptr) handles->push_back(first + i);
   }
+  slots_.Publish();
   AutoValidate("batch mutation");
   return Status::OK();
 }
@@ -302,50 +339,51 @@ Result<ItemHandle> VirtualLTreeStore::RunSingle(LeafCookie cookie, Op&& op) {
     Unreserve(1);
     return fresh.status();
   }
-  label_of_[h] = *fresh;
+  slots_[h].label.store(*fresh);
+  slots_.Publish();
   AutoValidate("insert");
   return h;
 }
 
-Status VirtualLTreeStore::BulkLoad(std::span<const LeafCookie> cookies,
-                                   std::vector<ItemHandle>* handles) {
+Status VirtualLTreeStore::BulkLoadImpl(std::span<const LeafCookie> cookies,
+                                       std::vector<ItemHandle>* handles) {
   return RunBatch(cookies, handles, [&](auto tree_cookies, auto* labels) {
     return tree_->BulkLoad(tree_cookies, labels);
   });
 }
 
-Result<ItemHandle> VirtualLTreeStore::InsertAfter(ItemHandle pos,
-                                                  LeafCookie cookie) {
+Result<ItemHandle> VirtualLTreeStore::InsertAfterImpl(ItemHandle pos,
+                                                      LeafCookie cookie) {
   LTREE_ASSIGN_OR_RETURN(Label where, CurrentLabel(pos));
   return RunSingle(cookie,
                    [&](ItemHandle h) { return tree_->InsertAfter(where, h); });
 }
 
-Result<ItemHandle> VirtualLTreeStore::InsertBefore(ItemHandle pos,
-                                                   LeafCookie cookie) {
+Result<ItemHandle> VirtualLTreeStore::InsertBeforeImpl(ItemHandle pos,
+                                                       LeafCookie cookie) {
   LTREE_ASSIGN_OR_RETURN(Label where, CurrentLabel(pos));
   return RunSingle(cookie,
                    [&](ItemHandle h) { return tree_->InsertBefore(where, h); });
 }
 
-Result<ItemHandle> VirtualLTreeStore::PushBack(LeafCookie cookie) {
+Result<ItemHandle> VirtualLTreeStore::PushBackImpl(LeafCookie cookie) {
   return RunSingle(cookie, [&](ItemHandle h) { return tree_->PushBack(h); });
 }
 
-Result<ItemHandle> VirtualLTreeStore::PushFront(LeafCookie cookie) {
+Result<ItemHandle> VirtualLTreeStore::PushFrontImpl(LeafCookie cookie) {
   return RunSingle(cookie, [&](ItemHandle h) { return tree_->PushFront(h); });
 }
 
-Status VirtualLTreeStore::InsertBatchAfter(ItemHandle pos,
-                                           std::span<const LeafCookie> cookies,
-                                           std::vector<ItemHandle>* handles) {
+Status VirtualLTreeStore::InsertBatchAfterImpl(
+    ItemHandle pos, std::span<const LeafCookie> cookies,
+    std::vector<ItemHandle>* handles) {
   LTREE_ASSIGN_OR_RETURN(Label where, CurrentLabel(pos));
   return RunBatch(cookies, handles, [&](auto tree_cookies, auto* labels) {
     return tree_->InsertBatchAfter(where, tree_cookies, labels);
   });
 }
 
-Status VirtualLTreeStore::InsertBatchBefore(
+Status VirtualLTreeStore::InsertBatchBeforeImpl(
     ItemHandle pos, std::span<const LeafCookie> cookies,
     std::vector<ItemHandle>* handles) {
   LTREE_ASSIGN_OR_RETURN(Label where, CurrentLabel(pos));
@@ -354,21 +392,23 @@ Status VirtualLTreeStore::InsertBatchBefore(
   });
 }
 
-Status VirtualLTreeStore::PushBackBatch(std::span<const LeafCookie> cookies,
-                                        std::vector<ItemHandle>* handles) {
+Status VirtualLTreeStore::PushBackBatchImpl(
+    std::span<const LeafCookie> cookies, std::vector<ItemHandle>* handles) {
   return RunBatch(cookies, handles, [&](auto tree_cookies, auto* labels) {
     return tree_->PushBackBatch(tree_cookies, labels);
   });
 }
 
-Status VirtualLTreeStore::Erase(ItemHandle h) {
-  if (h >= label_of_.size()) return Status::NotFound("unknown item handle");
-  if (erased_[h]) {
+Status VirtualLTreeStore::EraseImpl(ItemHandle h) {
+  if (h >= slots_.size()) return Status::NotFound("unknown item handle");
+  VSlot& slot = slots_[h];
+  if (slot.erased.load(std::memory_order_relaxed)) {
     return Status::FailedPrecondition("item handle already erased");
   }
-  LTREE_RETURN_IF_ERROR(tree_->MarkDeleted(label_of_[h]));
-  erased_[h] = true;
-  if (listener_ != nullptr) listener_->OnErase(cookie_of_[h], label_of_[h]);
+  const Label label = slot.label.load();
+  LTREE_RETURN_IF_ERROR(tree_->MarkDeleted(label));
+  slot.erased.store(true, std::memory_order_release);
+  if (listener_ != nullptr) listener_->OnErase(slot.cookie.load(), label);
   AutoValidate("Erase");
   return Status::OK();
 }
@@ -378,9 +418,25 @@ Result<Label> VirtualLTreeStore::GetLabel(ItemHandle h) const {
 }
 
 Result<LeafCookie> VirtualLTreeStore::GetCookie(ItemHandle h) const {
-  if (h >= cookie_of_.size()) return Status::NotFound("unknown item handle");
-  if (erased_[h]) return Status::NotFound("item handle already erased");
-  return cookie_of_[h];
+  if (h >= slots_.size()) return Status::NotFound("unknown item handle");
+  const VSlot& slot = slots_[h];
+  if (slot.erased.load(std::memory_order_acquire)) {
+    return Status::NotFound("item handle already erased");
+  }
+  return slot.cookie.load();
+}
+
+void VirtualLTreeStore::SnapshotImpl(
+    std::vector<std::pair<Label, LeafCookie>>* out) const {
+  const std::vector<Label> labels = tree_->LiveLabels();
+  out->reserve(out->size() + labels.size());
+  for (const Label label : labels) {
+    // The tree's cookie for a label is our handle; the client payload
+    // lives in the slot.
+    auto handle = tree_->GetCookie(label);
+    LTREE_CHECK(handle.ok());
+    out->emplace_back(label, slots_[*handle].cookie.load());
+  }
 }
 
 const MaintStats& VirtualLTreeStore::stats() const {
@@ -407,29 +463,30 @@ audit::Report VirtualLTreeStore::Validate() const {
   audit::Report report;
   tree_->Audit(&report);
   // Cookie <-> label bijection: the tree's leaf cookies are our handles,
-  // so every non-erased handle's recorded label must exist in the B+-tree,
-  // carry that handle as its cookie, and be live. Together with the live
-  // counts agreeing this makes handle -> label a bijection onto the live
-  // labels.
+  // so every non-erased handle's label must exist in the B+-tree, carry
+  // that handle as its cookie, and be live. Together with the live counts
+  // agreeing this makes handle -> label a bijection onto the live labels.
   uint64_t live_handles = 0;
-  for (ItemHandle h = 0; h < label_of_.size(); ++h) {
-    if (erased_[h]) continue;
+  for (ItemHandle h = 0; h < slots_.size(); ++h) {
+    const VSlot& slot = slots_[h];
+    if (slot.erased.load(std::memory_order_acquire)) continue;
     ++live_handles;
+    const Label label = slot.label.load();
     const std::string path = "store:/" + std::to_string(h);
-    auto cookie = tree_->GetCookie(label_of_[h]);
+    auto cookie = tree_->GetCookie(label);
     if (!cookie.ok()) {
       report.Add(path, "cookie-label-bijection",
                  StrFormat("handle's label %llu is missing from the tree",
-                           static_cast<unsigned long long>(label_of_[h])));
+                           static_cast<unsigned long long>(label)));
       continue;
     }
     if (*cookie != h) {
       report.Add(path, "cookie-label-bijection",
                  StrFormat("label %llu maps back to handle %llu",
-                           static_cast<unsigned long long>(label_of_[h]),
+                           static_cast<unsigned long long>(label),
                            static_cast<unsigned long long>(*cookie)));
     }
-    auto deleted = tree_->IsDeleted(label_of_[h]);
+    auto deleted = tree_->IsDeleted(label);
     if (deleted.ok() && *deleted) {
       report.Add(path, "cookie-label-bijection",
                  "live handle's label is tombstoned in the tree");

@@ -42,17 +42,51 @@
 // Callers that care (benches measuring slot occupancy, the docstore's
 // consistency checks) can query erase_semantics(); callers that only need
 // "the handle is gone either way" need not.
+//
+// ## Concurrent reads
+//
+// Mutations are serialized by the store itself (each public mutation runs
+// under an exclusive writer section), and a separate guard-based read API
+// lets any number of reader threads run *during* a mutation:
+//
+//   auto guard = store->AcquireRead();
+//   auto label = store->LabelOf(guard, h);
+//   auto cmp   = store->CompareOrder(guard, a, b);
+//
+// How much the guard costs depends on the scheme, reported by
+// concurrency_mode():
+//
+//   * kLockFreeReads (ltree, virtual) — AcquireRead pins an epoch (one CAS;
+//     no lock), and LabelOf/CookieOf/CompareOrder never block: they read
+//     only atomically published slots and leaf fields, and the epoch keeps
+//     any node a reader can still see from being recycled by a concurrent
+//     rebuild. CompareOrder reads two labels; a store-wide seqlock makes
+//     the pair consistent (readers retry over a relabel instead of
+//     blocking).
+//   * kSerializedReads (sequential, gap, bender) — AcquireRead takes a
+//     shared lock on the writer mutex; reads are correct but exclude
+//     writers for the guard's lifetime. Same API, documented fallback.
+//
+// ScanAll walks the structure, so it briefly takes the shared lock in both
+// modes. The plain query methods (GetLabel/GetCookie/Labels/...) keep the
+// historical thread-compatible contract: safe concurrently only while no
+// thread mutates. stats() and ResetStats() remain writer-side.
 
 #ifndef LTREE_LISTLAB_ORDER_MAINTAINER_H_
 #define LTREE_LISTLAB_ORDER_MAINTAINER_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "core/epoch.h"
 #include "core/params.h"
 #include "core/relabel_listener.h"
 #include "core/validate.h"
@@ -117,8 +151,10 @@ struct MaintStats {
   std::string ToString() const;
 };
 
-/// The unified labeling interface. Thread-compatibility: externally
-/// synchronized (like an STL container).
+/// The unified labeling interface. Mutations are serialized internally
+/// (single exclusive writer at a time); reads either use the guard-based
+/// concurrent API below or require external quiescence (see the header
+/// comment).
 class LabelStore {
  public:
   virtual ~LabelStore() = default;
@@ -135,21 +171,27 @@ class LabelStore {
   /// (Section 2.2 bulk load). If `handles` is non-null it receives one
   /// handle per cookie, in order. Does not fire the RelabelListener and
   /// does not count toward the incremental-maintenance statistics.
-  virtual Status BulkLoad(std::span<const LeafCookie> cookies,
-                          std::vector<ItemHandle>* handles = nullptr) = 0;
+  Status BulkLoad(std::span<const LeafCookie> cookies,
+                  std::vector<ItemHandle>* handles = nullptr);
 
   /// Convenience: bulk loads n items with cookies 0..n-1.
   Status BulkLoad(uint64_t n, std::vector<ItemHandle>* handles = nullptr);
 
   // ---------------------------------------------------------------- updates
+  //
+  // Every mutation below runs under the store's exclusive writer section:
+  // it waits out guard-holding readers of serialized schemes, bumps the
+  // seqlock so lock-free CompareOrder retries, and ticks the epoch so
+  // retired nodes reclaim at quiescence. Callers need no external lock for
+  // readers — but concurrent *mutations* still race each other's
+  // planning; keep one writer per store (e.g. one writer thread, or the
+  // DocumentStore's per-shard writer lock).
 
-  virtual Result<ItemHandle> InsertAfter(ItemHandle pos,
-                                         LeafCookie cookie) = 0;
-  virtual Result<ItemHandle> InsertBefore(ItemHandle pos,
-                                          LeafCookie cookie) = 0;
+  Result<ItemHandle> InsertAfter(ItemHandle pos, LeafCookie cookie);
+  Result<ItemHandle> InsertBefore(ItemHandle pos, LeafCookie cookie);
   /// Works on an empty store.
-  virtual Result<ItemHandle> PushBack(LeafCookie cookie) = 0;
-  virtual Result<ItemHandle> PushFront(LeafCookie cookie) = 0;
+  Result<ItemHandle> PushBack(LeafCookie cookie);
+  Result<ItemHandle> PushFront(LeafCookie cookie);
 
   /// Inserts `cookies.size()` consecutive items right after `pos` (the
   /// paper's Section 4.1 bulk insertion). Appends the new handles to
@@ -158,23 +200,73 @@ class LabelStore {
   /// back to per-item insertion with identical final order. Batches are
   /// all-or-nothing: a mid-batch failure erases the partial prefix before
   /// returning the error.
-  virtual Status InsertBatchAfter(ItemHandle pos,
-                                  std::span<const LeafCookie> cookies,
-                                  std::vector<ItemHandle>* handles = nullptr);
+  Status InsertBatchAfter(ItemHandle pos, std::span<const LeafCookie> cookies,
+                          std::vector<ItemHandle>* handles = nullptr);
 
   /// Batch insertion immediately before `pos`.
-  virtual Status InsertBatchBefore(ItemHandle pos,
-                                   std::span<const LeafCookie> cookies,
-                                   std::vector<ItemHandle>* handles = nullptr);
+  Status InsertBatchBefore(ItemHandle pos, std::span<const LeafCookie> cookies,
+                           std::vector<ItemHandle>* handles = nullptr);
 
   /// Appends a batch at the end (works on an empty store).
-  virtual Status PushBackBatch(std::span<const LeafCookie> cookies,
-                               std::vector<ItemHandle>* handles = nullptr);
+  Status PushBackBatch(std::span<const LeafCookie> cookies,
+                       std::vector<ItemHandle>* handles = nullptr);
 
   /// Removes an item from the order (see "Erase semantics" above). Fails
   /// with NotFound for a handle the store never issued and with
   /// FailedPrecondition for an already erased handle — in every scheme.
-  virtual Status Erase(ItemHandle h) = 0;
+  Status Erase(ItemHandle h);
+
+  // ------------------------------------------------------ concurrent reads
+
+  /// How cheap AcquireRead and the guard-based reads are for this scheme.
+  enum class ConcurrencyMode {
+    kLockFreeReads,    ///< epoch pin; reads never block a writer
+    kSerializedReads,  ///< shared lock; reads exclude writers while held
+  };
+
+  virtual ConcurrencyMode concurrency_mode() const {
+    return ConcurrencyMode::kSerializedReads;
+  }
+
+  /// Proof-of-protection token for the guard-based reads. Movable; drop it
+  /// to release the pin/lock. Guards are cheap but not free — hold one
+  /// across a sequence of reads, not per call.
+  class ReadGuard {
+   public:
+    ReadGuard() = default;
+    ReadGuard(ReadGuard&&) = default;
+    ReadGuard& operator=(ReadGuard&&) = default;
+
+   private:
+    friend class LabelStore;
+    epoch::ReadGuard pin_;                      // lock-free schemes
+    std::shared_lock<std::shared_mutex> lock_;  // serialized fallback
+  };
+
+  /// Acquires read protection appropriate for the scheme: an epoch pin
+  /// (kLockFreeReads) or a shared lock (kSerializedReads). Thread-safe.
+  ReadGuard AcquireRead() const;
+
+  /// Label of a live item, safe against a concurrent writer while `guard`
+  /// is held. Same results and errors as GetLabel.
+  Result<Label> LabelOf(const ReadGuard& guard, ItemHandle h) const;
+
+  /// Cookie of a live item under a guard. Same results as GetCookie.
+  Result<LeafCookie> CookieOf(const ReadGuard& guard, ItemHandle h) const;
+
+  /// List-order comparison of two live items under a guard: -1, 0 or +1 as
+  /// `a` precedes, equals or follows `b`. The label pair is read
+  /// consistently: lock-free schemes retry over a concurrent relabel via
+  /// the store seqlock (falling back to a brief shared lock if a writer
+  /// keeps the seqlock hot), serialized schemes already hold the lock.
+  Result<int> CompareOrder(const ReadGuard& guard, ItemHandle a,
+                           ItemHandle b) const;
+
+  /// (label, cookie) of every live item in list order. Walks the backing
+  /// structure, so it briefly takes the shared lock in both modes (the
+  /// one guard-based read that can wait on a writer).
+  std::vector<std::pair<Label, LeafCookie>> ScanAll(
+      const ReadGuard& guard) const;
 
   // ---------------------------------------------------------------- queries
 
@@ -226,7 +318,85 @@ class LabelStore {
   void AutoValidate(const char* /*op*/) const {}
 #endif
 
+  // ------------------------------------------------- scheme implementation
+  //
+  // The public mutations are non-virtual wrappers: they enter the writer
+  // section (exclusive lock + seqlock bump + epoch tick on exit) and
+  // delegate to these. Implementations never lock — they already hold the
+  // section — and call each other's *Impl forms, never the public API.
+
+  virtual Status BulkLoadImpl(std::span<const LeafCookie> cookies,
+                              std::vector<ItemHandle>* handles) = 0;
+  virtual Result<ItemHandle> InsertAfterImpl(ItemHandle pos,
+                                             LeafCookie cookie) = 0;
+  virtual Result<ItemHandle> InsertBeforeImpl(ItemHandle pos,
+                                              LeafCookie cookie) = 0;
+  virtual Result<ItemHandle> PushBackImpl(LeafCookie cookie) = 0;
+  virtual Result<ItemHandle> PushFrontImpl(LeafCookie cookie) = 0;
+  /// Default: per-item loop over InsertAfterImpl (+ rollback on failure).
+  virtual Status InsertBatchAfterImpl(ItemHandle pos,
+                                      std::span<const LeafCookie> cookies,
+                                      std::vector<ItemHandle>* handles);
+  virtual Status InsertBatchBeforeImpl(ItemHandle pos,
+                                       std::span<const LeafCookie> cookies,
+                                       std::vector<ItemHandle>* handles);
+  virtual Status PushBackBatchImpl(std::span<const LeafCookie> cookies,
+                                   std::vector<ItemHandle>* handles);
+  virtual Status EraseImpl(ItemHandle h) = 0;
+
+  /// Guard-protected single reads. Lock-free schemes override with
+  /// atomics-only implementations; the default forwards to the plain
+  /// queries, correct under the serialized guard's shared lock.
+  virtual Result<Label> LabelOfRead(ItemHandle h) const { return GetLabel(h); }
+  virtual Result<LeafCookie> CookieOfRead(ItemHandle h) const {
+    return GetCookie(h);
+  }
+
+  /// (label, cookie) of every live item in list order; called with the
+  /// shared lock held (writers excluded).
+  virtual void SnapshotImpl(
+      std::vector<std::pair<Label, LeafCookie>>* out) const = 0;
+
+  /// Epoch manager backing the scheme's lock-free reads; nullptr for
+  /// serialized schemes. The writer section ticks it after each mutation.
+  virtual epoch::EpochManager* epoch_manager() const { return nullptr; }
+
+  /// RAII writer section used by the public mutation wrappers: exclusive
+  /// lock (waits out serialized-scheme readers), seqlock held odd for the
+  /// duration, epoch advanced at exit.
+  class WriteSection {
+   public:
+    explicit WriteSection(LabelStore* store)
+        : store_(store), lock_(store->rw_mutex_) {
+      store_->write_seq_.fetch_add(1, std::memory_order_seq_cst);
+    }
+    ~WriteSection() {
+      store_->write_seq_.fetch_add(1, std::memory_order_seq_cst);
+      if (epoch::EpochManager* epoch = store_->epoch_manager()) {
+        // Up to three advances (one per bucket) drain everything when no
+        // reader is pinned, so quiescent arena accounting matches the
+        // epoch-less behavior; a pinned reader stalls the advance and the
+        // nodes stay pending, which is the point.
+        for (int i = 0; i < 3 && epoch->TryAdvance(); ++i) {
+        }
+      }
+    }
+    WriteSection(const WriteSection&) = delete;
+    WriteSection& operator=(const WriteSection&) = delete;
+
+   private:
+    LabelStore* store_;
+    std::unique_lock<std::shared_mutex> lock_;
+  };
+
   RelabelListener* listener_ = nullptr;
+
+  /// Writers exclusive; serialized-scheme guards and ScanAll shared.
+  mutable std::shared_mutex rw_mutex_;
+  /// Store-wide seqlock: odd while a writer section is open. Lock-free
+  /// CompareOrder uses it to detect a concurrent relabel between its two
+  /// label loads.
+  std::atomic<uint64_t> write_seq_{0};
 };
 
 }  // namespace listlab

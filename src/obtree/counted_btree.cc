@@ -1,6 +1,7 @@
 #include "obtree/counted_btree.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "common/macros.h"
 #include "common/string_util.h"
@@ -47,13 +48,36 @@ class BTreeNodeArena final
 
 namespace {
 
+/// Free context threaded through the mutation helpers. With no epoch
+/// attached, frees recycle straight onto the pool free list; with one,
+/// nodes are retired and recycle only once no in-flight reader could still
+/// observe them (the retired node keeps its keys/children intact until its
+/// deleter runs, so a stale traversal reads consistent old data).
+struct NodePool {
+  BTreeNodeArena* arena;
+  epoch::EpochManager* epoch;
+
+  void Free(Node* n) const {
+    if (epoch == nullptr) {
+      arena->Release(n);
+      return;
+    }
+    epoch->Retire(
+        n,
+        [](void* obj, void* ctx) {
+          static_cast<BTreeNodeArena*>(ctx)->Release(static_cast<Node*>(obj));
+        },
+        arena);
+  }
+};
+
 /// Returns a whole subtree to the free list (so Clear()/BulkBuild rebuilds
 /// — every virtual root split — recycle the old structure). Wholesale
 /// teardown goes through the arena's chunk drop instead.
-void ReleaseTree(BTreeNodeArena* arena, Node* n) {
+void ReleaseTree(const NodePool& pool, Node* n) {
   if (n == nullptr) return;
-  for (Node* c : n->children) ReleaseTree(arena, c);
-  arena->Release(n);
+  for (Node* c : n->children) ReleaseTree(pool, c);
+  pool.Free(n);
 }
 
 /// Smallest key in the subtree.
@@ -96,8 +120,10 @@ CountedBTree::~CountedBTree() = default;
 CountedBTree::CountedBTree(CountedBTree&& other) noexcept
     : root_(other.root_),
       order_(other.order_),
-      arena_(std::move(other.arena_)) {
+      arena_(std::move(other.arena_)),
+      epoch_(other.epoch_) {
   other.root_ = nullptr;
+  other.epoch_ = nullptr;
 }
 
 CountedBTree& CountedBTree::operator=(CountedBTree&& other) noexcept {
@@ -105,7 +131,9 @@ CountedBTree& CountedBTree::operator=(CountedBTree&& other) noexcept {
     root_ = other.root_;
     order_ = other.order_;
     arena_ = std::move(other.arena_);  // old nodes die with the old arena
+    epoch_ = other.epoch_;
     other.root_ = nullptr;
+    other.epoch_ = nullptr;
   }
   return *this;
 }
@@ -117,7 +145,7 @@ BTreeNodeArena* CountedBTree::EnsureArena() {
 
 void CountedBTree::Clear() {
   if (root_ == nullptr) return;
-  ReleaseTree(arena_.get(), root_);
+  ReleaseTree(NodePool{arena_.get(), epoch_}, root_);
   root_ = nullptr;
 }
 
@@ -262,7 +290,7 @@ namespace {
 
 /// Rebalances n->children[ci] after a deletion left it underfull.
 void FixUnderflow(Node* n, uint32_t ci, uint32_t order,
-                  BTreeNodeArena* arena) {
+                  const NodePool& pool) {
   Node* child = n->children[ci];
   const size_t min_fill = order / 2;
   const size_t child_size =
@@ -342,9 +370,9 @@ void FixUnderflow(Node* n, uint32_t ci, uint32_t order,
                             child->children.end());
       left->count += child->count;
     }
-    // The merged-away node's children now live under `left`; Release only
-    // recycles the husk (clearing, not destroying, its child list).
-    arena->Release(child);
+    // The merged-away node's children now live under `left`; the husk is
+    // recycled (its child list cleared, not destroyed) once freed.
+    pool.Free(child);
     n->children.erase(n->children.begin() + ci);
     n->keys.erase(n->keys.begin() + (ci - 1));
   } else {
@@ -365,14 +393,14 @@ void FixUnderflow(Node* n, uint32_t ci, uint32_t order,
                              right->children.end());
       child->count += right->count;
     }
-    arena->Release(right);
+    pool.Free(right);
     n->children.erase(n->children.begin() + ci + 1);
     n->keys.erase(n->keys.begin() + ci);
   }
 }
 
 Status DeleteRec(Node* n, Label key, uint32_t order,
-                 BTreeNodeArena* arena) {
+                 const NodePool& pool) {
   if (n->leaf) {
     auto it = std::lower_bound(n->keys.begin(), n->keys.end(), key);
     if (it == n->keys.end() || *it != key) {
@@ -385,14 +413,14 @@ Status DeleteRec(Node* n, Label key, uint32_t order,
     return Status::OK();
   }
   const uint32_t ci = ChildIndex(n, key);
-  LTREE_RETURN_IF_ERROR(DeleteRec(n->children[ci], key, order, arena));
+  LTREE_RETURN_IF_ERROR(DeleteRec(n->children[ci], key, order, pool));
   --n->count;
   // Deleting the subtree minimum stales the separator left of ci; fix it
   // while children[ci] still exists (FixUnderflow may merge it away).
   if (ci > 0) {
     n->keys[ci - 1] = MinKey(n->children[ci]);
   }
-  FixUnderflow(n, ci, order, arena);
+  FixUnderflow(n, ci, order, pool);
   return Status::OK();
 }
 
@@ -400,13 +428,14 @@ Status DeleteRec(Node* n, Label key, uint32_t order,
 
 Status CountedBTree::Delete(Label key) {
   if (root_ == nullptr) return Status::NotFound("empty tree");
-  LTREE_RETURN_IF_ERROR(DeleteRec(root_, key, order_, arena_.get()));
+  const NodePool pool{arena_.get(), epoch_};
+  LTREE_RETURN_IF_ERROR(DeleteRec(root_, key, order_, pool));
   if (!root_->leaf && root_->children.size() == 1) {
     Node* only = root_->children.front();
-    arena_->Release(root_);  // root collapse: the surviving child lives on
+    pool.Free(root_);  // root collapse: the surviving child lives on
     root_ = only;
   } else if (root_->leaf && root_->keys.empty()) {
-    arena_->Release(root_);
+    pool.Free(root_);
     root_ = nullptr;
   }
   return Status::OK();
@@ -777,7 +806,7 @@ Status CountedBTree::ReplaceRange(Label lo, Label hi,
       }
       a->count = a->keys.size();
       if (path.empty() && a->keys.empty()) {
-        arena_->Release(a);
+        NodePool{arena_.get(), epoch_}.Free(a);
         root_ = nullptr;
         return Status::OK();
       }
@@ -847,9 +876,11 @@ Status CountedBTree::ReplaceRange(Label lo, Label hi,
 
     // Commit: recycle the old slice first (its entries already live in
     // `spliced`) so the rebuild below is served from the free list, then
-    // build the replacement and splice it over children [cl, cr].
+    // build the replacement and splice it over children [cl, cr]. With an
+    // epoch attached the old slice recycles later, at quiescence.
+    const NodePool pool{arena_.get(), epoch_};
     for (uint32_t i = cl; i <= cr; ++i) {
-      ReleaseTree(arena_.get(), a->children[i]);
+      ReleaseTree(pool, a->children[i]);
     }
     std::vector<Node*> level;
     if (!spliced.empty()) {
@@ -874,7 +905,7 @@ Status CountedBTree::ReplaceRange(Label lo, Label hi,
     while (root_ != nullptr && !root_->leaf && root_->children.size() <= 1) {
       Node* only =
           root_->children.empty() ? nullptr : root_->children.front();
-      arena_->Release(root_);  // recycles the husk; `only` lives on
+      pool.Free(root_);  // recycles the husk; `only` lives on
       root_ = only;
     }
     return Status::OK();
@@ -970,21 +1001,55 @@ void AuditNode(const Node* n, uint32_t order, bool is_root, int depth,
 
 }  // namespace
 
+namespace {
+
+void CollectReachable(const Node* n, std::unordered_set<const void*>* out) {
+  if (n == nullptr) return;
+  out->insert(n);
+  for (const Node* c : n->children) CollectReachable(c, out);
+}
+
+}  // namespace
+
 void CountedBTree::Audit(audit::Report* report) const {
   if (root_ != nullptr) {
     int leaf_depth = -1;
     AuditNode(root_, order_, true, 0, &leaf_depth, "btree:/", report);
   }
   // Arena conservation: at every quiescent point the pool's live counter
-  // must equal the number of nodes reachable from the root.
+  // must equal the number of nodes reachable from the root — plus, with an
+  // epoch attached, the retired nodes still waiting in its buckets
+  // (retired ∪ reachable == allocated-and-unreleased).
   const uint64_t reachable = NodeCount();
-  if (arena_stats().live() != reachable) {
+  const uint64_t pending = epoch_ == nullptr ? 0 : epoch_->pending();
+  if (arena_stats().live() != reachable + pending) {
     report->Add("btree:/", "arena-conservation",
-                StrFormat("%llu nodes reachable but the pool accounts %llu "
-                          "live",
+                StrFormat("%llu nodes reachable + %llu epoch-pending but the "
+                          "pool accounts %llu live",
                           static_cast<unsigned long long>(reachable),
+                          static_cast<unsigned long long>(pending),
                           static_cast<unsigned long long>(
                               arena_stats().live())));
+  }
+  // Epoch reclamation: a retired node must be unreachable from the live
+  // structure (it was unlinked before Retire) and retired exactly once —
+  // a node in two buckets would double-release into the pool.
+  if (epoch_ != nullptr) {
+    std::unordered_set<const void*> live_set;
+    CollectReachable(root_, &live_set);
+    std::unordered_set<const void*> retired_set;
+    epoch_->ForEachPending([&](const void* obj) {
+      if (live_set.count(obj) != 0) {
+        report->Add("btree:/", "epoch-reclamation",
+                    StrFormat("retired node %p still reachable from the "
+                              "root",
+                              obj));
+      }
+      if (!retired_set.insert(obj).second) {
+        report->Add("btree:/", "epoch-reclamation",
+                    StrFormat("node %p retired twice", obj));
+      }
+    });
   }
 }
 
@@ -1025,13 +1090,12 @@ uint64_t HeapBytesUnder(const Node* n) {
 uint64_t CountedBTree::NodeCount() const { return CountReachable(root_); }
 
 uint64_t CountedBTree::ApproxHeapBytes() const {
-  // Chunks pin sizeof(Node) per slot whether the slot is live or on the
+  // Chunks pin a cache-line-padded slot whether the slot is live or on the
   // free list; per-node vector buffers come on top — including the buffers
   // free-list nodes retain for reuse, which a reachable-only walk would
   // miss after delete-heavy churn.
-  uint64_t bytes = arena_stats().chunks * BTreeNodeArena::kChunkNodes *
-                       sizeof(Node) +
-                   HeapBytesUnder(root_);
+  uint64_t bytes =
+      arena_stats().chunks * BTreeNodeArena::kChunkBytes + HeapBytesUnder(root_);
   if (arena_ != nullptr) {
     arena_->ForEachFree([&bytes](const Node* n) { bytes += BufferBytes(n); });
   }

@@ -22,6 +22,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "core/epoch.h"
 #include "core/params.h"
 #include "core/pool_arena.h"
 #include "core/validate.h"
@@ -144,6 +145,15 @@ class CountedBTree {
 
   uint32_t order() const { return order_; }
 
+  /// Attaches an epoch manager for concurrent readers: every node freed by
+  /// Delete/ReplaceRange/BulkBuild/Clear is retired through it instead of
+  /// going straight to the pool free list, so a reader traversing a
+  /// possibly-stale structure under a ReadGuard never observes a recycled
+  /// node. The manager must outlive the tree, and the owner must drain it
+  /// (ReclaimAllUnsafe) before the tree's arena dies. Survives moves.
+  void set_epoch(epoch::EpochManager* epoch) { epoch_ = epoch; }
+  epoch::EpochManager* epoch() const { return epoch_; }
+
   /// Lifetime allocator counters of the node pool (monotonic; never
   /// reset). arena_stats().live() equals NodeCount() at every quiescent
   /// point — the conservation property the obtree arena tests assert.
@@ -169,6 +179,7 @@ class CountedBTree {
   Node* root_ = nullptr;
   uint32_t order_;
   std::unique_ptr<BTreeNodeArena> arena_;
+  epoch::EpochManager* epoch_ = nullptr;  ///< not owned; may be nullptr
 };
 
 }  // namespace obtree

@@ -311,13 +311,24 @@ const ChangeFeed& DocumentStore::feed(uint32_t shard) const {
   return shards_[shard]->feed;
 }
 
+listlab::LabelStore::ReadGuard DocumentStore::AcquireShardRead(
+    uint32_t shard) const {
+  return shards_[shard]->store->AcquireRead();
+}
+
 std::vector<std::pair<Label, LeafCookie>> DocumentStore::ShardState(
     uint32_t shard) const {
   const ShardCtx& ctx = *shards_[shard];
+  // One guard over all the label reads: the snapshot stays consistent even
+  // if another thread is mutating a *different* shard, and label loads are
+  // safe against this shard's writer (ctx.live itself is store-level state
+  // and still relies on the store's thread-compatible contract).
+  const listlab::LabelStore::ReadGuard guard = ctx.store->AcquireRead();
   std::vector<std::pair<Label, LeafCookie>> out;
   out.reserve(ctx.live.size());
   for (const auto& [cookie, item] : ctx.live) {
-    out.emplace_back(ctx.store->GetLabel(item.handle).ValueOrDie(), cookie);
+    out.emplace_back(ctx.store->LabelOf(guard, item.handle).ValueOrDie(),
+                     cookie);
   }
   std::sort(out.begin(), out.end());
   return out;

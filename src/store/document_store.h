@@ -149,6 +149,14 @@ class DocumentStore {
   const listlab::LabelStore& shard_store(uint32_t shard) const;
   const ChangeFeed& feed(uint32_t shard) const;
 
+  /// Acquires the shard scheme's read guard (a lock-free epoch pin for the
+  /// L-Tree schemes, a shared lock otherwise), so label reads through
+  /// shard_store() — LabelOf/CookieOf/CompareOrder/ScanAll — can run while
+  /// a writer mutates that shard. The guard protects label state only; the
+  /// store-level registries (documents, feeds, subscribers) keep their
+  /// thread-compatible contract and still need external quiescence.
+  listlab::LabelStore::ReadGuard AcquireShardRead(uint32_t shard) const;
+
   /// The shard's live (label, cookie) pairs, label-ordered — the snapshot
   /// payload of CatchUp and the equivalence baseline for mirrors.
   std::vector<std::pair<Label, LeafCookie>> ShardState(uint32_t shard) const;

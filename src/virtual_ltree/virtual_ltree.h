@@ -152,6 +152,13 @@ class VirtualLTree {
 
   void set_listener(RelabelListener* listener) { listener_ = listener; }
 
+  /// Attaches an epoch manager to the backing counted B+-tree: nodes freed
+  /// by relabel rebuilds are retired instead of recycled immediately, so
+  /// concurrent readers of the owning store never observe a reused node.
+  /// See CountedBTree::set_epoch for lifetime obligations.
+  void set_epoch(epoch::EpochManager* epoch) { btree_.set_epoch(epoch); }
+  epoch::EpochManager* epoch() const { return btree_.epoch(); }
+
   /// Bytes of heap the label store roughly occupies (for the Section 4.2
   /// space-trade-off bench).
   uint64_t ApproxMemoryBytes() const;

@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <vector>
 
 #include "common/random.h"
@@ -44,6 +45,35 @@ TEST(NodeArenaTest, FreshAllocationsComeFromChunks) {
   nodes.push_back(arena.Allocate());
   EXPECT_EQ(arena.stats().chunks, 2u);
   EXPECT_EQ(arena.stats().fresh_allocs, NodeArena::kChunkNodes + 1);
+}
+
+TEST(NodeArenaTest, SlotsAreCacheLineAligned) {
+  // Concurrent readers tag erased slot pointers in their low bit and the
+  // planned SIMD node scan assumes line-aligned loads, so every slot —
+  // fresh from a chunk or recycled off the free list — must start on a
+  // 64-byte boundary.
+  static_assert(NodeArena::kSlotAlign == 64, "slots must be line-aligned");
+  static_assert(NodeArena::kSlotStride % NodeArena::kSlotAlign == 0,
+                "stride must preserve the alignment of every slot");
+
+  NodeArena arena;
+  std::vector<Node*> nodes;
+  // Span two chunks so chunk bases (not just strides) are covered.
+  for (size_t i = 0; i < NodeArena::kChunkNodes + 8; ++i) {
+    nodes.push_back(arena.Allocate());
+  }
+  ASSERT_EQ(arena.stats().chunks, 2u);
+  for (const Node* n : nodes) {
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(n) % NodeArena::kSlotAlign, 0u);
+  }
+
+  // Recycling preserves alignment: the free list hands back slot bases.
+  for (size_t i = 0; i < 8; ++i) arena.Release(nodes[i * 3]);
+  for (size_t i = 0; i < 8; ++i) {
+    const Node* n = arena.Allocate();
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(n) % NodeArena::kSlotAlign, 0u);
+  }
+  EXPECT_EQ(arena.stats().reused_allocs, 8u);
 }
 
 TEST(NodeArenaTest, ReleaseThenAllocateRecycles) {

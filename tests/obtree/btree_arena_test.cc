@@ -16,9 +16,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include "common/random.h"
+#include "core/epoch.h"
 #include "obtree/counted_btree.h"
 
 namespace ltree {
@@ -167,6 +169,31 @@ TEST(BTreeArenaTest, ApproxHeapBytesCoversChunksAndBuffers) {
   // a value slot somewhere in the leaves.
   EXPECT_GT(tree.arena_stats().chunks, 0u);
   EXPECT_GE(tree.ApproxHeapBytes(), 4096 * 2 * sizeof(uint64_t));
+}
+
+TEST(BTreeArenaTest, NodesAreCacheLineAligned) {
+  // The node type is opaque, but with an epoch attached every node freed
+  // by Clear() is retired instead of recycled — ForEachPending then hands
+  // us the raw slot pointers of a whole multi-level tree, which must all
+  // sit on 64-byte boundaries (the pool pads slots to the cache line; see
+  // PoolArena::kSlotAlign).
+  epoch::EpochManager epoch;
+  CountedBTree tree(4);
+  tree.set_epoch(&epoch);
+  for (const Entry& e : MakeEntries(512)) {
+    ASSERT_TRUE(tree.Insert(e.key, e.value).ok());
+  }
+  const uint64_t nodes = tree.NodeCount();
+  ASSERT_GT(nodes, 100u) << "want a tree deep enough to cover many slots";
+
+  tree.Clear();
+  uint64_t seen = 0;
+  epoch.ForEachPending([&](void* node) {
+    ++seen;
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(node) % 64, 0u) << node;
+  });
+  EXPECT_EQ(seen, nodes);
+  epoch.ReclaimAllUnsafe();
 }
 
 }  // namespace
