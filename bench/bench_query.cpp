@@ -6,8 +6,16 @@
 //     join; the edge-table plan [11] needs one self-join per level.
 //  2. The L-Tree keeps those labels valid under updates, so no re-indexing
 //     happens between edits (queries run unchanged and stay correct).
+//
+// Usage:   bench_query [json_path]
+//
+// Besides the table, the run lands in BENCH_query.json (one record per
+// path: label-join vs edge-join ms plus per-rep p50/p99 of the label-join
+// evaluation) so bench_trend.py can track the query side of the perf
+// trajectory. Set BENCH_PIN_CPU=<core> for stable tails.
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -18,11 +26,14 @@
 
 using namespace ltree;
 
-int main() {
+int main(int argc, char** argv) {
   bench::PrintHeader(
       "E12 / Section 1: query processing over labels vs edge table",
       "Claim: '//' steps collapse to one label-comparison join; parent-id "
       "plans pay one join per document level.");
+  bench::MaybePinCpu();
+
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_query.json";
 
   auto store = docstore::LabeledDocument::FromDocument(
                    workload::GenerateCatalog(3000, 4, 13), "ltree:16:4")
@@ -36,14 +47,25 @@ int main() {
                          "//chapter/title", "//book//*", "/site//title"};
   const int kReps = 20;
 
+  bench::JsonWriter json("query");
+  json.Field("elements", uint64_t{store->table().size()})
+      .Field("scheme", store->label_store().name())
+      .Field("reps", uint64_t{kReps});
+
   std::printf("%-22s %10s %12s %12s %10s %10s\n", "path", "results",
               "labels(ms)", "edges(ms)", "speedup", "edgejoins");
   for (const char* path : paths) {
     auto q = query::PathQuery::Parse(path).ValueOrDie();
-    Timer t1;
+    // Per-rep latency of the label-join plan: kReps is small, so p99
+    // degrades to the max rep — still the right field name for trend
+    // tracking, and the collector keeps the shape uniform across benches.
+    bench::LatencyCollector label_lat(kReps);
     size_t n1 = 0;
+    Timer t1;
     for (int i = 0; i < kReps; ++i) {
+      Timer rep;
       n1 = query::EvaluateWithLabels(q, store->table()).size();
+      label_lat.Record(rep.ElapsedNanos());
     }
     const double label_ms = t1.ElapsedMillis() / kReps;
     Timer t2;
@@ -57,6 +79,14 @@ int main() {
     std::printf("%-22s %10zu %12.3f %12.3f %9.1fx %10llu\n", path, n1,
                 label_ms, edge_ms, edge_ms / label_ms,
                 (unsigned long long)joins);
+    json.BeginRecord()
+        .Field("path", std::string(path))
+        .Field("results", uint64_t{n1})
+        .Field("label_ms", label_ms)
+        .Field("edge_ms", edge_ms)
+        .Field("speedup", edge_ms / label_ms)
+        .Field("edge_joins", joins);
+    label_lat.Summarize().EmitFields(&json, "label_join");
   }
 
   // Claim 2: updates do not invalidate the plan or force re-indexing.
@@ -66,14 +96,17 @@ int main() {
   const xml::NodeId books_id =
       query::EvaluateWithLabels(books_q, store->table())[0]->id;
   size_t expected = query::EvaluateWithLabels(q, store->table()).size();
+  bench::LatencyCollector round_lat(500);
   Timer edit_timer;
   for (int i = 0; i < 500; ++i) {
+    Timer round;
     auto id = store->InsertFragment(
         books_id, 0,
         "<book><title>t</title><chapter><title>c</title></chapter></book>");
     LTREE_CHECK(id.ok());
     expected += 2;
     const size_t got = query::EvaluateWithLabels(q, store->table()).size();
+    round_lat.Record(round.ElapsedNanos());
     LTREE_CHECK(got == expected);
   }
   std::printf("500 fragment inserts interleaved with queries: all answers "
@@ -81,6 +114,13 @@ int main() {
               "relabeled leaves total: %llu\n",
               edit_timer.ElapsedMicros() / 500.0,
               (unsigned long long)store->label_store().stats().items_relabeled);
+  json.BeginRecord()
+      .Field("path", std::string("update_validity"))
+      .Field("edits", uint64_t{500})
+      .Field("items_relabeled",
+             uint64_t{store->label_store().stats().items_relabeled});
+  round_lat.Summarize().EmitFields(&json, "edit_query_round");
   LTREE_CHECK_OK(store->CheckConsistency());
+  if (!json.WriteFile(json_path)) return 1;
   return 0;
 }

@@ -1,8 +1,21 @@
+// sched_setaffinity / CPU_SET are glibc extensions; the build is strict
+// -std=c++20 (no gnu++), so opt in before the first glibc header.
+#if defined(__linux__) && !defined(_GNU_SOURCE)
+#define _GNU_SOURCE
+#endif
+
 #include "bench/bench_util.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <utility>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
 
 #include "common/string_util.h"
 #include "common/timer.h"
@@ -235,6 +248,46 @@ void LatencySummary::EmitFields(JsonWriter* json,
       .Field(prefix + "_p999_ns", p999_ns)
       .Field(prefix + "_mean_ns", mean_ns)
       .Field(prefix + "_max_ns", max_ns);
+}
+
+int MaybePinCpu() {
+  const char* env = std::getenv("BENCH_PIN_CPU");
+  if (env == nullptr || *env == '\0') return -1;
+#if defined(__linux__)
+  const int cpu = std::atoi(env);
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  if (sched_setaffinity(0, sizeof(set), &set) != 0) {
+    std::fprintf(stderr, "BENCH_PIN_CPU=%d: sched_setaffinity failed: %s\n",
+                 cpu, std::strerror(errno));
+    return -1;
+  }
+  char path[128];
+  std::snprintf(path, sizeof(path),
+                "/sys/devices/system/cpu/cpu%d/cpufreq/scaling_governor",
+                cpu);
+  if (FILE* f = std::fopen(path, "r")) {
+    char governor[64] = {0};
+    if (std::fgets(governor, sizeof(governor), f) != nullptr) {
+      governor[std::strcspn(governor, "\n")] = '\0';
+      if (std::strcmp(governor, "performance") != 0) {
+        std::fprintf(stderr,
+                     "warning: cpu%d governor is '%s', not 'performance' — "
+                     "tail latencies will include DVFS ramp-up\n",
+                     cpu, governor);
+      }
+    }
+    std::fclose(f);
+  }
+  std::fprintf(stderr, "BENCH_PIN_CPU: pinned to cpu%d\n", cpu);
+  return cpu;
+#else
+  std::fprintf(stderr,
+               "BENCH_PIN_CPU set, but thread pinning is only wired up on "
+               "Linux — running unpinned\n");
+  return -1;
+#endif
 }
 
 }  // namespace bench

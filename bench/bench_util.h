@@ -84,6 +84,13 @@ class JsonWriter {
   std::vector<Fields> records_;
 };
 
+/// Pins the calling thread to the core named by the BENCH_PIN_CPU env var
+/// (an integer core id) so tail percentiles stop absorbing migrations; a
+/// no-op returning -1 when the variable is unset. Warns on stderr when the
+/// pinned core's cpufreq governor is not "performance" (tails then include
+/// DVFS ramp-up). Returns the pinned core id on success.
+int MaybePinCpu();
+
 /// Keeps the compiler from eliding a benchmarked computation whose result
 /// is otherwise dead (the classic empty-asm sink).
 template <typename T>

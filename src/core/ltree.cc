@@ -603,6 +603,22 @@ LTree::LeafHandle LTree::NextLiveLeaf(LeafHandle leaf) const {
   return cur;
 }
 
+LTree::LeafHandle LTree::FindLeafByLabel(Label label) const {
+  Node* t = root_;
+  if (t == nullptr || t->leaf_count == 0) return nullptr;
+  // num(child i of t) = num(t) + i * (f+1)^(h(t)-1), so the owning child
+  // index is pure arithmetic — no key comparisons, no search.
+  while (!t->IsLeaf()) {
+    const Label base = t->num.load();
+    if (label < base) return nullptr;
+    const uint64_t span = powers_.PowF1(t->height - 1);
+    const uint64_t idx = (label - base) / span;
+    if (idx >= t->children.size()) return nullptr;
+    t = t->children[idx];
+  }
+  return t->num.load() == label ? t : nullptr;
+}
+
 uint64_t LTree::num_slots() const { return root_->leaf_count; }
 
 uint32_t LTree::height() const { return root_->height; }

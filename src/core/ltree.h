@@ -112,6 +112,15 @@ class LTree {
   LeafCookie cookie(LeafHandle leaf) const { return leaf->cookie; }
   bool deleted(LeafHandle leaf) const { return leaf->deleted; }
 
+  /// Resolves a label to the leaf holding it via the num(w) identity of
+  /// Proposition 2 — an arithmetic descent: at each level the child index
+  /// is (label - num(t)) / (f+1)^(h(t)-1), one subtraction and one divide,
+  /// with no per-node key comparisons (the L-Tree counterpart of the
+  /// B+-tree's in-node search). Returns nullptr if no leaf currently owns
+  /// that exact label; tombstoned leaves still own their slot and are
+  /// returned. O(height).
+  LeafHandle FindLeafByLabel(Label label) const;
+
   /// Leftmost leaf (including tombstones), or nullptr if empty.
   LeafHandle FirstLeaf() const;
   /// Successor in label order (including tombstones), or nullptr.

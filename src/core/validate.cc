@@ -243,6 +243,27 @@ void AuditLTree(const LTree& tree, Report* report) {
                               tree.num_live_leaves()),
                           static_cast<unsigned long long>(ctx.live)));
   }
+  // Label resolution: the arithmetic num(w) descent must resolve every
+  // leaf's label (tombstoned or not) back to exactly that leaf — this is
+  // what makes labels order-preserving addresses, not just comparands.
+  // The walk runs only on a structurally clean tree: NextLeaf navigates
+  // parent/index_in_parent links, so on a tree the rules above already
+  // flagged (miswired child index, self-parent) it can cycle or index
+  // out of bounds — and an auditor must stay total. The slot-count cap
+  // is belt-and-braces for corruption no structural rule anticipated.
+  if (report->ok()) {
+    uint64_t resolved_walk = 0;
+    for (LTree::LeafHandle leaf = tree.FirstLeaf();
+         leaf != nullptr && resolved_walk < tree.num_slots();
+         leaf = tree.NextLeaf(leaf), ++resolved_walk) {
+      if (tree.FindLeafByLabel(tree.label(leaf)) != leaf) {
+        report->Add("ltree:/", "label-resolution",
+                    StrFormat("label %llu does not resolve back to its leaf",
+                              static_cast<unsigned long long>(
+                                  tree.label(leaf))));
+      }
+    }
+  }
   // Arena conservation: every node the pool considers live must be
   // reachable from the root or sitting in an epoch bucket awaiting
   // reclamation, and vice versa.

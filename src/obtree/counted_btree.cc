@@ -1,27 +1,58 @@
 #include "obtree/counted_btree.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstring>
 #include <unordered_set>
 
 #include "common/macros.h"
 #include "common/string_util.h"
+#include "core/simd_search.h"
 
 namespace ltree {
 namespace obtree {
 
+namespace {
+
+/// Fixed array capacity: one slot beyond the max order, because the insert
+/// path materializes the overflowed node (order+1 entries / children)
+/// before splitting it.
+inline constexpr uint32_t kNodeCap = kMaxNodeOrder + 1;
+
+}  // namespace
+
+// Cache-conscious SoA layout, embedded in the 64B-aligned arena slot:
+// keys first (offset 0), so a descent's in-node search streams the node's
+// leading cache lines with no pointer chase; payloads follow as a union
+// (leaves store values, internal nodes store children plus a cached copy
+// of each child's subtree count, so rank descents touch no child lines);
+// the rarely-written header trails at the end.
 struct CountedBTree::Node {
-  bool leaf = true;
-  /// Entries in this subtree (== keys.size() for leaves).
+  /// Leaf: entry keys. Internal: keys[i] == smallest key in child i+1.
+  Label keys[kNodeCap];
+
+  struct InternalArrays {
+    Node* child[kNodeCap];
+    /// ccount[i] caches child[i]->count (audited as child-count-cache), so
+    /// CountLess/Select sum ranks without dereferencing siblings.
+    uint64_t ccount[kNodeCap];
+  };
+  union {
+    uint64_t values[kNodeCap];  ///< leaf payloads
+    InternalArrays in;          ///< internal fan-out
+  };
+
+  /// Entries in this subtree (== num_keys for leaves).
   uint64_t count = 0;
-  /// Leaf: entry keys. Internal: keys[i] == smallest key in children[i+1].
-  std::vector<Label> keys;
-  /// Leaf only.
-  std::vector<uint64_t> values;
-  /// Internal only.
-  std::vector<Node*> children;
   /// Arena free-list link; meaningless while the node is reachable.
   Node* free_next = nullptr;
+  uint16_t num_keys = 0;
+  uint16_t num_children = 0;  ///< internal only
+  bool leaf = true;
 };
+
+static_assert(offsetof(CountedBTree::Node, keys) == 0,
+              "keys must start at the aligned slot base");
 
 namespace {
 
@@ -31,13 +62,13 @@ struct BTreeNodeArenaTraits {
   static void SetFreeNext(Node* n, Node* next) { n->free_next = next; }
   static Node* GetFreeNext(Node* n) { return n->free_next; }
   static void Recycle(Node* n) {
+    // Only the header resets; the embedded arrays keep their bytes. An
+    // epoch-retired husk therefore stays fully readable until its deleter
+    // runs Release (which is what calls this).
     n->leaf = true;
     n->count = 0;
-    // clear() keeps each heap buffer for the next reuse; children are
-    // never destroyed here — merge/teardown move or release them first.
-    n->keys.clear();
-    n->values.clear();
-    n->children.clear();
+    n->num_keys = 0;
+    n->num_children = 0;
   }
 };
 
@@ -76,27 +107,79 @@ struct NodePool {
 /// teardown goes through the arena's chunk drop instead.
 void ReleaseTree(const NodePool& pool, Node* n) {
   if (n == nullptr) return;
-  for (Node* c : n->children) ReleaseTree(pool, c);
+  if (!n->leaf) {
+    for (uint32_t i = 0; i < n->num_children; ++i) {
+      ReleaseTree(pool, n->in.child[i]);
+    }
+  }
   pool.Free(n);
 }
 
 /// Smallest key in the subtree.
 Label MinKey(const Node* n) {
-  while (!n->leaf) n = n->children.front();
-  return n->keys.front();
+  while (!n->leaf) n = n->in.child[0];
+  return n->keys[0];
 }
 
 /// Largest key in the subtree.
 Label MaxKey(const Node* n) {
-  while (!n->leaf) n = n->children.back();
-  return n->keys.back();
+  while (!n->leaf) n = n->in.child[n->num_children - 1];
+  return n->keys[n->num_keys - 1];
 }
 
-/// Child index to descend into for `key`.
+/// Child index to descend into for `key` (branchless/SIMD upper_bound).
 uint32_t ChildIndex(const Node* n, Label key) {
-  return static_cast<uint32_t>(
-      std::upper_bound(n->keys.begin(), n->keys.end(), key) -
-      n->keys.begin());
+  return search::UpperBound(n->keys, n->num_keys, key);
+}
+
+// ---- array micro-ops (memmove over trivially-copyable slots) -------------
+
+template <typename T>
+inline void SlotInsert(T* a, uint32_t n, uint32_t pos, T v) {
+  std::memmove(a + pos + 1, a + pos, (n - pos) * sizeof(T));
+  a[pos] = v;
+}
+
+template <typename T>
+inline void SlotErase(T* a, uint32_t n, uint32_t pos) {
+  std::memmove(a + pos, a + pos + 1, (n - pos - 1) * sizeof(T));
+}
+
+/// Inserts a key/value pair at `pos` of a leaf.
+inline void LeafInsert(Node* n, uint32_t pos, Label key, uint64_t value) {
+  SlotInsert(n->keys, n->num_keys, pos, key);
+  SlotInsert(n->values, n->num_keys, pos, value);
+  ++n->num_keys;
+}
+
+/// Removes the pair at `pos` of a leaf.
+inline void LeafErase(Node* n, uint32_t pos) {
+  SlotErase(n->keys, n->num_keys, pos);
+  SlotErase(n->values, n->num_keys, pos);
+  --n->num_keys;
+}
+
+inline void KeyInsert(Node* n, uint32_t pos, Label key) {
+  SlotInsert(n->keys, n->num_keys, pos, key);
+  ++n->num_keys;
+}
+
+inline void KeyErase(Node* n, uint32_t pos) {
+  SlotErase(n->keys, n->num_keys, pos);
+  --n->num_keys;
+}
+
+/// Inserts `c` (and its count-cache slot) at child position `pos`.
+inline void ChildInsert(Node* n, uint32_t pos, Node* c) {
+  SlotInsert(n->in.child, n->num_children, pos, c);
+  SlotInsert(n->in.ccount, n->num_children, pos, c->count);
+  ++n->num_children;
+}
+
+inline void ChildErase(Node* n, uint32_t pos) {
+  SlotErase(n->in.child, n->num_children, pos);
+  SlotErase(n->in.ccount, n->num_children, pos);
+  --n->num_children;
 }
 
 struct SplitResult {
@@ -108,7 +191,7 @@ struct SplitResult {
 
 CountedBTree::CountedBTree(uint32_t order)
     : order_(order), arena_(std::make_unique<BTreeNodeArena>()) {
-  LTREE_CHECK(order_ >= 4);
+  LTREE_CHECK(order_ >= 4 && order_ <= kMaxNodeOrder);
 }
 
 // Every node lives in arena chunks, which free wholesale — no tree walk.
@@ -168,26 +251,25 @@ Result<SplitResult*> InsertRec(Node* n, Label key, uint64_t value,
                                uint32_t order, BTreeNodeArena* arena,
                                SplitResult* split_storage) {
   if (n->leaf) {
-    auto it = std::lower_bound(n->keys.begin(), n->keys.end(), key);
-    const size_t pos = static_cast<size_t>(it - n->keys.begin());
-    if (it != n->keys.end() && *it == key) {
+    const uint32_t pos = search::LowerBound(n->keys, n->num_keys, key);
+    if (pos < n->num_keys && n->keys[pos] == key) {
       return Status::AlreadyExists("duplicate key");
     }
-    n->keys.insert(it, key);
-    n->values.insert(n->values.begin() + pos, value);
-    n->count = n->keys.size();
-    if (n->keys.size() <= order) return static_cast<SplitResult*>(nullptr);
+    LeafInsert(n, pos, key, value);
+    n->count = n->num_keys;
+    if (n->num_keys <= order) return static_cast<SplitResult*>(nullptr);
     // Split the leaf in half.
     Node* right = arena->Allocate();
     right->leaf = true;
-    const size_t half = n->keys.size() / 2;
-    right->keys.assign(n->keys.begin() + half, n->keys.end());
-    right->values.assign(n->values.begin() + half, n->values.end());
-    n->keys.resize(half);
-    n->values.resize(half);
-    n->count = n->keys.size();
-    right->count = right->keys.size();
-    split_storage->separator = right->keys.front();
+    const uint32_t half = n->num_keys / 2;
+    const uint32_t rlen = n->num_keys - half;
+    std::memcpy(right->keys, n->keys + half, rlen * sizeof(Label));
+    std::memcpy(right->values, n->values + half, rlen * sizeof(uint64_t));
+    right->num_keys = static_cast<uint16_t>(rlen);
+    n->num_keys = static_cast<uint16_t>(half);
+    n->count = half;
+    right->count = rlen;
+    split_storage->separator = right->keys[0];
     split_storage->right = right;
     return split_storage;
   }
@@ -195,26 +277,35 @@ Result<SplitResult*> InsertRec(Node* n, Label key, uint64_t value,
   const uint32_t ci = ChildIndex(n, key);
   SplitResult child_split;
   LTREE_ASSIGN_OR_RETURN(SplitResult * split,
-                         InsertRec(n->children[ci], key, value, order, arena,
+                         InsertRec(n->in.child[ci], key, value, order, arena,
                                    &child_split));
   ++n->count;
+  // Refresh the count cache for the descended child: it either grew by one
+  // or — if it split — shrank to its left half.
+  n->in.ccount[ci] = n->in.child[ci]->count;
   if (split == nullptr) return static_cast<SplitResult*>(nullptr);
-  n->keys.insert(n->keys.begin() + ci, split->separator);
-  n->children.insert(n->children.begin() + ci + 1, split->right);
-  if (n->children.size() <= order) return static_cast<SplitResult*>(nullptr);
+  KeyInsert(n, ci, split->separator);
+  ChildInsert(n, ci + 1, split->right);
+  if (n->num_children <= order) return static_cast<SplitResult*>(nullptr);
   // Split this internal node.
   Node* right = arena->Allocate();
   right->leaf = false;
-  const size_t half_children = n->children.size() / 2;
+  const uint32_t half_children = n->num_children / 2;
   // Separator promoted upward is the min key of the right half.
   const Label up_sep = n->keys[half_children - 1];
-  right->children.assign(n->children.begin() + half_children,
-                         n->children.end());
-  right->keys.assign(n->keys.begin() + half_children, n->keys.end());
-  n->children.resize(half_children);
-  n->keys.resize(half_children - 1);
+  const uint32_t rchildren = n->num_children - half_children;
+  const uint32_t rkeys = n->num_keys - half_children;
+  std::memcpy(right->in.child, n->in.child + half_children,
+              rchildren * sizeof(Node*));
+  std::memcpy(right->in.ccount, n->in.ccount + half_children,
+              rchildren * sizeof(uint64_t));
+  std::memcpy(right->keys, n->keys + half_children, rkeys * sizeof(Label));
+  right->num_children = static_cast<uint16_t>(rchildren);
+  right->num_keys = static_cast<uint16_t>(rkeys);
+  n->num_children = static_cast<uint16_t>(half_children);
+  n->num_keys = static_cast<uint16_t>(half_children - 1);
   uint64_t right_count = 0;
-  for (Node* c : right->children) right_count += c->count;
+  for (uint32_t i = 0; i < rchildren; ++i) right_count += right->in.ccount[i];
   right->count = right_count;
   n->count -= right_count;
   split_storage->separator = up_sep;
@@ -237,8 +328,13 @@ Status CountedBTree::Insert(Label key, uint64_t value) {
   if (split != nullptr) {
     Node* new_root = arena_->Allocate();
     new_root->leaf = false;
-    new_root->children = {root_, split->right};
-    new_root->keys = {split->separator};
+    new_root->in.child[0] = root_;
+    new_root->in.ccount[0] = root_->count;
+    new_root->in.child[1] = split->right;
+    new_root->in.ccount[1] = split->right->count;
+    new_root->num_children = 2;
+    new_root->keys[0] = split->separator;
+    new_root->num_keys = 1;
     new_root->count = root_->count + split->right->count;
     root_ = new_root;
   }
@@ -253,7 +349,7 @@ namespace {
 
 Node* FindLeaf(Node* n, Label key) {
   if (n == nullptr) return nullptr;
-  while (!n->leaf) n = n->children[ChildIndex(n, key)];
+  while (!n->leaf) n = n->in.child[ChildIndex(n, key)];
   return n;
 }
 
@@ -262,22 +358,22 @@ Node* FindLeaf(Node* n, Label key) {
 Status CountedBTree::Update(Label key, uint64_t value) {
   Node* leaf = FindLeaf(root_, key);
   if (leaf == nullptr) return Status::NotFound("empty tree");
-  auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
-  if (it == leaf->keys.end() || *it != key) {
+  const uint32_t pos = search::LowerBound(leaf->keys, leaf->num_keys, key);
+  if (pos >= leaf->num_keys || leaf->keys[pos] != key) {
     return Status::NotFound("key not present");
   }
-  leaf->values[static_cast<size_t>(it - leaf->keys.begin())] = value;
+  leaf->values[pos] = value;
   return Status::OK();
 }
 
 Result<uint64_t> CountedBTree::Lookup(Label key) const {
   Node* leaf = FindLeaf(root_, key);
   if (leaf == nullptr) return Status::NotFound("empty tree");
-  auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
-  if (it == leaf->keys.end() || *it != key) {
+  const uint32_t pos = search::LowerBound(leaf->keys, leaf->num_keys, key);
+  if (pos >= leaf->num_keys || leaf->keys[pos] != key) {
     return Status::NotFound("key not present");
   }
-  return leaf->values[static_cast<size_t>(it - leaf->keys.begin())];
+  return leaf->values[pos];
 }
 
 bool CountedBTree::Contains(Label key) const { return Lookup(key).ok(); }
@@ -288,67 +384,68 @@ bool CountedBTree::Contains(Label key) const { return Lookup(key).ok(); }
 
 namespace {
 
-/// Rebalances n->children[ci] after a deletion left it underfull.
+/// Rebalances n->in.child[ci] after a deletion left it underfull.
 void FixUnderflow(Node* n, uint32_t ci, uint32_t order,
                   const NodePool& pool) {
-  Node* child = n->children[ci];
-  const size_t min_fill = order / 2;
-  const size_t child_size =
-      child->leaf ? child->keys.size() : child->children.size();
+  Node* child = n->in.child[ci];
+  const uint32_t min_fill = order / 2;
+  const uint32_t child_size = child->leaf ? child->num_keys
+                                          : child->num_children;
   if (child_size >= min_fill) return;
 
-  Node* left = ci > 0 ? n->children[ci - 1] : nullptr;
-  Node* right = ci + 1 < n->children.size() ? n->children[ci + 1] : nullptr;
+  Node* left = ci > 0 ? n->in.child[ci - 1] : nullptr;
+  Node* right = ci + 1 < n->num_children ? n->in.child[ci + 1] : nullptr;
 
   auto left_size = [&]() {
-    return left->leaf ? left->keys.size() : left->children.size();
+    return left->leaf ? left->num_keys : left->num_children;
   };
   auto right_size = [&]() {
-    return right->leaf ? right->keys.size() : right->children.size();
+    return right->leaf ? right->num_keys : right->num_children;
   };
 
   if (left != nullptr && left_size() > min_fill) {
     // Borrow the largest item of the left sibling.
     if (child->leaf) {
-      child->keys.insert(child->keys.begin(), left->keys.back());
-      child->values.insert(child->values.begin(), left->values.back());
-      left->keys.pop_back();
-      left->values.pop_back();
-      child->count = child->keys.size();
-      left->count = left->keys.size();
+      LeafInsert(child, 0, left->keys[left->num_keys - 1],
+                 left->values[left->num_keys - 1]);
+      --left->num_keys;
+      child->count = child->num_keys;
+      left->count = left->num_keys;
     } else {
-      Node* moved = left->children.back();
-      left->children.pop_back();
+      Node* moved = left->in.child[left->num_children - 1];
+      --left->num_children;
       // The separator between `moved` and child's old first child is the
       // min key of the old first child.
-      child->keys.insert(child->keys.begin(), MinKey(child->children.front()));
-      child->children.insert(child->children.begin(), moved);
-      left->keys.pop_back();
+      KeyInsert(child, 0, MinKey(child->in.child[0]));
+      ChildInsert(child, 0, moved);
+      --left->num_keys;
       child->count += moved->count;
       left->count -= moved->count;
     }
     n->keys[ci - 1] = MinKey(child);
+    n->in.ccount[ci - 1] = left->count;
+    n->in.ccount[ci] = child->count;
     return;
   }
   if (right != nullptr && right_size() > min_fill) {
     // Borrow the smallest item of the right sibling.
     if (child->leaf) {
-      child->keys.push_back(right->keys.front());
-      child->values.push_back(right->values.front());
-      right->keys.erase(right->keys.begin());
-      right->values.erase(right->values.begin());
-      child->count = child->keys.size();
-      right->count = right->keys.size();
+      LeafInsert(child, child->num_keys, right->keys[0], right->values[0]);
+      LeafErase(right, 0);
+      child->count = child->num_keys;
+      right->count = right->num_keys;
     } else {
-      Node* moved = right->children.front();
-      right->children.erase(right->children.begin());
-      child->keys.push_back(MinKey(moved));
-      child->children.push_back(moved);
-      right->keys.erase(right->keys.begin());
+      Node* moved = right->in.child[0];
+      ChildErase(right, 0);
+      KeyInsert(child, child->num_keys, MinKey(moved));
+      ChildInsert(child, child->num_children, moved);
+      KeyErase(right, 0);
       child->count += moved->count;
       right->count -= moved->count;
     }
     n->keys[ci] = MinKey(right);
+    n->in.ccount[ci] = child->count;
+    n->in.ccount[ci + 1] = right->count;
     return;
   }
 
@@ -356,69 +453,82 @@ void FixUnderflow(Node* n, uint32_t ci, uint32_t order,
   if (left != nullptr) {
     // Merge child into left.
     if (child->leaf) {
-      left->keys.insert(left->keys.end(), child->keys.begin(),
-                        child->keys.end());
-      left->values.insert(left->values.end(), child->values.begin(),
-                          child->values.end());
-      left->count = left->keys.size();
+      std::memcpy(left->keys + left->num_keys, child->keys,
+                  child->num_keys * sizeof(Label));
+      std::memcpy(left->values + left->num_keys, child->values,
+                  child->num_keys * sizeof(uint64_t));
+      left->num_keys = static_cast<uint16_t>(left->num_keys + child->num_keys);
+      left->count = left->num_keys;
     } else {
-      left->keys.push_back(MinKey(child->children.front()));
-      for (size_t i = 0; i + 1 < child->children.size(); ++i) {
-        left->keys.push_back(child->keys[i]);
-      }
-      left->children.insert(left->children.end(), child->children.begin(),
-                            child->children.end());
+      KeyInsert(left, left->num_keys, MinKey(child->in.child[0]));
+      std::memcpy(left->keys + left->num_keys, child->keys,
+                  child->num_keys * sizeof(Label));
+      left->num_keys = static_cast<uint16_t>(left->num_keys + child->num_keys);
+      std::memcpy(left->in.child + left->num_children, child->in.child,
+                  child->num_children * sizeof(Node*));
+      std::memcpy(left->in.ccount + left->num_children, child->in.ccount,
+                  child->num_children * sizeof(uint64_t));
+      left->num_children =
+          static_cast<uint16_t>(left->num_children + child->num_children);
       left->count += child->count;
     }
-    // The merged-away node's children now live under `left`; the husk is
-    // recycled (its child list cleared, not destroyed) once freed.
+    // The merged-away node's children now live under `left`; the husk keeps
+    // its (stale) arrays readable until it recycles through the pool.
     pool.Free(child);
-    n->children.erase(n->children.begin() + ci);
-    n->keys.erase(n->keys.begin() + (ci - 1));
+    ChildErase(n, ci);
+    KeyErase(n, ci - 1);
+    n->in.ccount[ci - 1] = left->count;
   } else {
     LTREE_CHECK(right != nullptr);
     // Merge right into child.
     if (child->leaf) {
-      child->keys.insert(child->keys.end(), right->keys.begin(),
-                         right->keys.end());
-      child->values.insert(child->values.end(), right->values.begin(),
-                           right->values.end());
-      child->count = child->keys.size();
+      std::memcpy(child->keys + child->num_keys, right->keys,
+                  right->num_keys * sizeof(Label));
+      std::memcpy(child->values + child->num_keys, right->values,
+                  right->num_keys * sizeof(uint64_t));
+      child->num_keys =
+          static_cast<uint16_t>(child->num_keys + right->num_keys);
+      child->count = child->num_keys;
     } else {
-      child->keys.push_back(MinKey(right->children.front()));
-      for (size_t i = 0; i + 1 < right->children.size(); ++i) {
-        child->keys.push_back(right->keys[i]);
-      }
-      child->children.insert(child->children.end(), right->children.begin(),
-                             right->children.end());
+      KeyInsert(child, child->num_keys, MinKey(right->in.child[0]));
+      std::memcpy(child->keys + child->num_keys, right->keys,
+                  right->num_keys * sizeof(Label));
+      child->num_keys =
+          static_cast<uint16_t>(child->num_keys + right->num_keys);
+      std::memcpy(child->in.child + child->num_children, right->in.child,
+                  right->num_children * sizeof(Node*));
+      std::memcpy(child->in.ccount + child->num_children, right->in.ccount,
+                  right->num_children * sizeof(uint64_t));
+      child->num_children =
+          static_cast<uint16_t>(child->num_children + right->num_children);
       child->count += right->count;
     }
     pool.Free(right);
-    n->children.erase(n->children.begin() + ci + 1);
-    n->keys.erase(n->keys.begin() + ci);
+    ChildErase(n, ci + 1);
+    KeyErase(n, ci);
+    n->in.ccount[ci] = child->count;
   }
 }
 
 Status DeleteRec(Node* n, Label key, uint32_t order,
                  const NodePool& pool) {
   if (n->leaf) {
-    auto it = std::lower_bound(n->keys.begin(), n->keys.end(), key);
-    if (it == n->keys.end() || *it != key) {
+    const uint32_t pos = search::LowerBound(n->keys, n->num_keys, key);
+    if (pos >= n->num_keys || n->keys[pos] != key) {
       return Status::NotFound("key not present");
     }
-    const size_t pos = static_cast<size_t>(it - n->keys.begin());
-    n->keys.erase(it);
-    n->values.erase(n->values.begin() + pos);
-    n->count = n->keys.size();
+    LeafErase(n, pos);
+    n->count = n->num_keys;
     return Status::OK();
   }
   const uint32_t ci = ChildIndex(n, key);
-  LTREE_RETURN_IF_ERROR(DeleteRec(n->children[ci], key, order, pool));
+  LTREE_RETURN_IF_ERROR(DeleteRec(n->in.child[ci], key, order, pool));
   --n->count;
+  n->in.ccount[ci] = n->in.child[ci]->count;
   // Deleting the subtree minimum stales the separator left of ci; fix it
   // while children[ci] still exists (FixUnderflow may merge it away).
   if (ci > 0) {
-    n->keys[ci - 1] = MinKey(n->children[ci]);
+    n->keys[ci - 1] = MinKey(n->in.child[ci]);
   }
   FixUnderflow(n, ci, order, pool);
   return Status::OK();
@@ -430,11 +540,11 @@ Status CountedBTree::Delete(Label key) {
   if (root_ == nullptr) return Status::NotFound("empty tree");
   const NodePool pool{arena_.get(), epoch_};
   LTREE_RETURN_IF_ERROR(DeleteRec(root_, key, order_, pool));
-  if (!root_->leaf && root_->children.size() == 1) {
-    Node* only = root_->children.front();
+  if (!root_->leaf && root_->num_children == 1) {
+    Node* only = root_->in.child[0];
     pool.Free(root_);  // root collapse: the surviving child lives on
     root_ = only;
-  } else if (root_->leaf && root_->keys.empty()) {
+  } else if (root_->leaf && root_->num_keys == 0) {
     pool.Free(root_);
     root_ = nullptr;
   }
@@ -451,12 +561,12 @@ uint64_t CountedBTree::CountLess(Label key) const {
   uint64_t rank = 0;
   while (!n->leaf) {
     const uint32_t ci = ChildIndex(n, key);
-    for (uint32_t i = 0; i < ci; ++i) rank += n->children[i]->count;
-    n = n->children[ci];
+    // The cached per-child counts make this a pure in-node sum: no sibling
+    // cache lines are touched on the way down.
+    for (uint32_t i = 0; i < ci; ++i) rank += n->in.ccount[i];
+    n = n->in.child[ci];
   }
-  rank += static_cast<uint64_t>(
-      std::lower_bound(n->keys.begin(), n->keys.end(), key) -
-      n->keys.begin());
+  rank += search::LowerBound(n->keys, n->num_keys, key);
   return rank;
 }
 
@@ -474,13 +584,12 @@ Result<Entry> CountedBTree::Select(uint64_t rank) const {
   }
   const Node* n = root_;
   while (!n->leaf) {
-    for (const Node* c : n->children) {
-      if (rank < c->count) {
-        n = c;
-        break;
-      }
-      rank -= c->count;
+    uint32_t i = 0;
+    while (rank >= n->in.ccount[i]) {
+      rank -= n->in.ccount[i];
+      ++i;
     }
+    n = n->in.child[i];
   }
   return Entry{n->keys[rank], n->values[rank]};
 }
@@ -517,7 +626,7 @@ void CountedBTree::Iterator::Next() {
   LTREE_CHECK(Valid());
   Frame& top = stack_.back();
   const Node* leaf = static_cast<const Node*>(top.node);
-  if (top.index + 1 < leaf->keys.size()) {
+  if (top.index + 1 < leaf->num_keys) {
     ++top.index;
     return;
   }
@@ -526,13 +635,13 @@ void CountedBTree::Iterator::Next() {
   while (!stack_.empty()) {
     Frame& frame = stack_.back();
     const Node* n = static_cast<const Node*>(frame.node);
-    if (frame.index + 1 < n->children.size()) {
+    if (frame.index + 1 < n->num_children) {
       ++frame.index;
       // Descend leftmost from that child.
-      const Node* cur = n->children[frame.index];
+      const Node* cur = n->in.child[frame.index];
       while (!cur->leaf) {
         stack_.push_back({cur, 0});
-        cur = cur->children.front();
+        cur = cur->in.child[0];
       }
       stack_.push_back({cur, 0});
       return;
@@ -547,7 +656,7 @@ CountedBTree::Iterator CountedBTree::Begin() const {
   if (cur == nullptr) return it;
   while (!cur->leaf) {
     it.stack_.push_back({cur, 0});
-    cur = cur->children.front();
+    cur = cur->in.child[0];
   }
   it.stack_.push_back({cur, 0});
   return it;
@@ -560,18 +669,16 @@ CountedBTree::Iterator CountedBTree::Seek(Label key) const {
   while (!cur->leaf) {
     const uint32_t ci = ChildIndex(cur, key);
     it.stack_.push_back({cur, ci});
-    cur = cur->children[ci];
+    cur = cur->in.child[ci];
   }
-  const uint32_t pos = static_cast<uint32_t>(
-      std::lower_bound(cur->keys.begin(), cur->keys.end(), key) -
-      cur->keys.begin());
-  if (pos < cur->keys.size()) {
+  const uint32_t pos = search::LowerBound(cur->keys, cur->num_keys, key);
+  if (pos < cur->num_keys) {
     it.stack_.push_back({cur, pos});
     return it;
   }
   // Key is past this leaf: step to the successor leaf via the stack.
   it.stack_.push_back({cur, pos == 0 ? 0u : pos - 1});
-  if (cur->keys.empty()) {
+  if (cur->num_keys == 0) {
     it.stack_.clear();
     return it;
   }
@@ -635,12 +742,11 @@ void BuildLeafLevel(std::span<const Entry> entries, uint32_t order,
     const size_t len = ChunkLen(entries.size() - i, order);
     Node* leaf = arena->Allocate();
     leaf->leaf = true;
-    leaf->keys.reserve(len);
-    leaf->values.reserve(len);
-    for (size_t j = i; j < i + len; ++j) {
-      leaf->keys.push_back(entries[j].key);
-      leaf->values.push_back(entries[j].value);
+    for (size_t j = 0; j < len; ++j) {
+      leaf->keys[j] = entries[i + j].key;
+      leaf->values[j] = entries[i + j].value;
     }
+    leaf->num_keys = static_cast<uint16_t>(len);
     leaf->count = len;
     level->push_back(leaf);
     i += len;
@@ -657,13 +763,15 @@ void StackLevel(std::vector<Node*>* level, uint32_t order,
     const size_t len = ChunkLen(level->size() - j, order);
     Node* node = arena->Allocate();
     node->leaf = false;
-    node->children.reserve(len);
-    node->keys.reserve(len - 1);
-    for (size_t k = j; k < j + len; ++k) {
-      node->children.push_back((*level)[k]);
-      node->count += (*level)[k]->count;
-      if (k > j) node->keys.push_back(MinKey((*level)[k]));
+    for (size_t k = 0; k < len; ++k) {
+      Node* c = (*level)[j + k];
+      node->in.child[k] = c;
+      node->in.ccount[k] = c->count;
+      node->count += c->count;
+      if (k > 0) node->keys[k - 1] = MinKey(c);
     }
+    node->num_children = static_cast<uint16_t>(len);
+    node->num_keys = static_cast<uint16_t>(len - 1);
     next.push_back(node);
     j += len;
   }
@@ -673,12 +781,14 @@ void StackLevel(std::vector<Node*>* level, uint32_t order,
 /// Appends the subtree's entries in key order.
 void CollectEntries(const Node* n, std::vector<Entry>* out) {
   if (n->leaf) {
-    for (size_t i = 0; i < n->keys.size(); ++i) {
+    for (uint32_t i = 0; i < n->num_keys; ++i) {
       out->push_back(Entry{n->keys[i], n->values[i]});
     }
     return;
   }
-  for (const Node* c : n->children) CollectEntries(c, out);
+  for (uint32_t i = 0; i < n->num_children; ++i) {
+    CollectEntries(n->in.child[i], out);
+  }
 }
 
 /// Edges from `n` down to the leaf level.
@@ -686,7 +796,7 @@ uint32_t SubtreeHeight(const Node* n) {
   uint32_t h = 0;
   while (!n->leaf) {
     ++h;
-    n = n->children.front();
+    n = n->in.child[0];
   }
   return h;
 }
@@ -752,19 +862,21 @@ Status CountedBTree::ReplaceRange(Label lo, Label hi,
     cr = ChildIndex(a, hi - 1);
     if (cl != cr) break;
     path.push_back({a, cl});
-    a = a->children[cl];
+    a = a->in.child[cl];
   }
 
-  const size_t min_fill = order_ / 2;
+  const uint32_t min_fill = order_ / 2;
 
-  // Bottom-up repair: ancestor counts shift by `delta`, and the descended
-  // child's min key may have changed, staling the separator to its left.
+  // Bottom-up repair: ancestor counts (and their parents' cached copies)
+  // shift by `delta`, and the descended child's min key may have changed,
+  // staling the separator to its left.
   auto repair_path = [&](int64_t delta) {
     for (size_t i = path.size(); i-- > 0;) {
       Node* n = path[i].node;
       n->count = static_cast<uint64_t>(static_cast<int64_t>(n->count) + delta);
       const uint32_t ci = path[i].index;
-      if (ci > 0) n->keys[ci - 1] = MinKey(n->children[ci]);
+      n->in.ccount[ci] = n->in.child[ci]->count;
+      if (ci > 0) n->keys[ci - 1] = MinKey(n->in.child[ci]);
     }
   };
 
@@ -774,38 +886,41 @@ Status CountedBTree::ReplaceRange(Label lo, Label hi,
     std::vector<Entry> all;
     all.reserve(root_->count + entries.size());
     CollectEntries(root_, &all);
-    const auto key_less = [](const Entry& e, Label key) { return e.key < key; };
-    auto eb = std::lower_bound(all.begin(), all.end(), lo, key_less);
-    auto ee = std::lower_bound(all.begin(), all.end(), hi, key_less);
+    const auto key_of = [](const Entry& e) { return e.key; };
+    const uint32_t n_all = static_cast<uint32_t>(all.size());
+    const uint32_t eb = search::LowerBoundBy(all.data(), n_all, lo, key_of);
+    const uint32_t ee = search::LowerBoundBy(all.data(), n_all, hi, key_of);
     std::vector<Entry> spliced;
     spliced.reserve(all.size() - (ee - eb) + entries.size());
-    spliced.insert(spliced.end(), all.begin(), eb);
+    spliced.insert(spliced.end(), all.begin(), all.begin() + eb);
     spliced.insert(spliced.end(), entries.begin(), entries.end());
-    spliced.insert(spliced.end(), ee, all.end());
+    spliced.insert(spliced.end(), all.begin() + ee, all.end());
     return BulkBuild(spliced);
   };
 
   if (a->leaf) {
     // In-leaf splice: the whole range lives in one leaf. No allocation at
     // all when the result keeps the leaf within occupancy bounds.
-    auto kb = std::lower_bound(a->keys.begin(), a->keys.end(), lo);
-    auto ke = std::lower_bound(a->keys.begin(), a->keys.end(), hi);
-    const size_t eb = static_cast<size_t>(kb - a->keys.begin());
-    const size_t ee = static_cast<size_t>(ke - a->keys.begin());
-    const size_t new_size = a->keys.size() - (ee - eb) + entries.size();
+    const uint32_t eb = search::LowerBound(a->keys, a->num_keys, lo);
+    const uint32_t ee = search::LowerBound(a->keys, a->num_keys, hi);
+    const size_t new_size = a->num_keys - (ee - eb) + entries.size();
     if (new_size <= order_ && (path.empty() || new_size >= min_fill)) {
       const int64_t delta = static_cast<int64_t>(new_size) -
-                            static_cast<int64_t>(a->keys.size());
-      a->keys.erase(kb, ke);
-      a->values.erase(a->values.begin() + eb, a->values.begin() + ee);
-      a->keys.insert(a->keys.begin() + eb, entries.size(), Label{0});
-      a->values.insert(a->values.begin() + eb, entries.size(), uint64_t{0});
+                            static_cast<int64_t>(a->num_keys);
+      // Shift the tail to its final position, then write the replacements
+      // over [eb, eb + entries.size()).
+      const uint32_t tail = a->num_keys - ee;
+      std::memmove(a->keys + eb + entries.size(), a->keys + ee,
+                   tail * sizeof(Label));
+      std::memmove(a->values + eb + entries.size(), a->values + ee,
+                   tail * sizeof(uint64_t));
       for (size_t i = 0; i < entries.size(); ++i) {
         a->keys[eb + i] = entries[i].key;
         a->values[eb + i] = entries[i].value;
       }
-      a->count = a->keys.size();
-      if (path.empty() && a->keys.empty()) {
+      a->num_keys = static_cast<uint16_t>(new_size);
+      a->count = new_size;
+      if (path.empty() && a->num_keys == 0) {
         NodePool{arena_.get(), epoch_}.Free(a);
         root_ = nullptr;
         return Status::OK();
@@ -825,20 +940,22 @@ Status CountedBTree::ReplaceRange(Label lo, Label hi,
     const bool at_root = (a == root_);
     combined.clear();
     for (uint32_t i = cl; i <= cr; ++i) {
-      CollectEntries(a->children[i], &combined);
+      CollectEntries(a->in.child[i], &combined);
     }
     const size_t old_total = combined.size();
-    const auto key_less = [](const Entry& e, Label key) { return e.key < key; };
-    auto eb = std::lower_bound(combined.begin(), combined.end(), lo, key_less);
-    auto ee = std::lower_bound(combined.begin(), combined.end(), hi, key_less);
+    const auto key_of = [](const Entry& e) { return e.key; };
+    const uint32_t n_comb = static_cast<uint32_t>(combined.size());
+    const uint32_t eb =
+        search::LowerBoundBy(combined.data(), n_comb, lo, key_of);
+    const uint32_t ee =
+        search::LowerBoundBy(combined.data(), n_comb, hi, key_of);
     spliced.clear();
-    spliced.reserve(old_total -
-                    static_cast<size_t>(ee - eb) + entries.size());
-    spliced.insert(spliced.end(), combined.begin(), eb);
+    spliced.reserve(old_total - (ee - eb) + entries.size());
+    spliced.insert(spliced.end(), combined.begin(), combined.begin() + eb);
     spliced.insert(spliced.end(), entries.begin(), entries.end());
-    spliced.insert(spliced.end(), ee, combined.end());
+    spliced.insert(spliced.end(), combined.begin() + ee, combined.end());
 
-    const uint32_t child_height = SubtreeHeight(a->children[cl]);
+    const uint32_t child_height = SubtreeHeight(a->in.child[cl]);
 
     // Dry-run the level stacking (pure arithmetic) so a failed attempt
     // never allocates: every level of the rebuilt slice must be able to
@@ -863,7 +980,7 @@ Status CountedBTree::ReplaceRange(Label lo, Label hi,
     }
     const size_t removed = static_cast<size_t>(cr - cl) + 1;
     if (fits) {
-      const size_t new_cc = a->children.size() - removed + m_new;
+      const size_t new_cc = a->num_children - removed + m_new;
       if (new_cc > order_ || (!at_root && new_cc < min_fill)) fits = false;
     }
     if (!fits) {
@@ -880,7 +997,7 @@ Status CountedBTree::ReplaceRange(Label lo, Label hi,
     // epoch attached the old slice recycles later, at quiescence.
     const NodePool pool{arena_.get(), epoch_};
     for (uint32_t i = cl; i <= cr; ++i) {
-      ReleaseTree(pool, a->children[i]);
+      ReleaseTree(pool, a->in.child[i]);
     }
     std::vector<Node*> level;
     if (!spliced.empty()) {
@@ -889,12 +1006,23 @@ Status CountedBTree::ReplaceRange(Label lo, Label hi,
         StackLevel(&level, order_, arena_.get());
       }
     }
-    a->children.erase(a->children.begin() + cl,
-                      a->children.begin() + cr + 1);
-    a->children.insert(a->children.begin() + cl, level.begin(), level.end());
-    a->keys.clear();
-    for (size_t i = 1; i < a->children.size(); ++i) {
-      a->keys.push_back(MinKey(a->children[i]));
+    // Splice the rebuilt run over child slots [cl, cr]: shift the tail to
+    // its final position, then write the new children and their cached
+    // counts.
+    const uint32_t tail = a->num_children - (cr + 1);
+    std::memmove(a->in.child + cl + level.size(), a->in.child + cr + 1,
+                 tail * sizeof(Node*));
+    std::memmove(a->in.ccount + cl + level.size(), a->in.ccount + cr + 1,
+                 tail * sizeof(uint64_t));
+    for (size_t i = 0; i < level.size(); ++i) {
+      a->in.child[cl + i] = level[i];
+      a->in.ccount[cl + i] = level[i]->count;
+    }
+    a->num_children = static_cast<uint16_t>(a->num_children - removed +
+                                            level.size());
+    a->num_keys = 0;
+    for (uint32_t i = 1; i < a->num_children; ++i) {
+      a->keys[a->num_keys++] = MinKey(a->in.child[i]);
     }
     const int64_t delta =
         static_cast<int64_t>(spliced.size()) - static_cast<int64_t>(old_total);
@@ -902,9 +1030,8 @@ Status CountedBTree::ReplaceRange(Label lo, Label hi,
     repair_path(delta);
     // An internal root may be left with one child (collapse) or none
     // (empty tree).
-    while (root_ != nullptr && !root_->leaf && root_->children.size() <= 1) {
-      Node* only =
-          root_->children.empty() ? nullptr : root_->children.front();
+    while (root_ != nullptr && !root_->leaf && root_->num_children <= 1) {
+      Node* only = root_->num_children == 0 ? nullptr : root_->in.child[0];
       pool.Free(root_);  // recycles the husk; `only` lives on
       root_ = only;
     }
@@ -921,7 +1048,7 @@ namespace {
 void AuditNode(const Node* n, uint32_t order, bool is_root, int depth,
                int* leaf_depth, const std::string& path,
                audit::Report* report) {
-  const size_t sz = n->leaf ? n->keys.size() : n->children.size();
+  const size_t sz = n->leaf ? n->num_keys : n->num_children;
   if (sz > order) {
     report->Add(path, "occupancy",
                 StrFormat("node holds %zu slots, order is %u", sz, order));
@@ -932,21 +1059,16 @@ void AuditNode(const Node* n, uint32_t order, bool is_root, int depth,
                           order / 2));
   }
   if (n->leaf) {
-    if (n->count != n->keys.size()) {
+    if (n->count != n->num_keys) {
       report->Add(path, "count-sum",
-                  StrFormat("leaf count %llu != %zu keys",
+                  StrFormat("leaf count %llu != %u keys",
                             static_cast<unsigned long long>(n->count),
-                            n->keys.size()));
+                            n->num_keys));
     }
-    if (n->keys.size() != n->values.size()) {
-      report->Add(path, "key-value-pairing",
-                  StrFormat("%zu keys vs %zu values", n->keys.size(),
-                            n->values.size()));
-    }
-    for (size_t i = 1; i < n->keys.size(); ++i) {
+    for (uint32_t i = 1; i < n->num_keys; ++i) {
       if (n->keys[i - 1] >= n->keys[i]) {
         report->Add(path, "key-order",
-                    StrFormat("keys[%zu]=%llu not above keys[%zu]=%llu", i,
+                    StrFormat("keys[%u]=%llu not above keys[%u]=%llu", i,
                               static_cast<unsigned long long>(n->keys[i]),
                               i - 1,
                               static_cast<unsigned long long>(
@@ -962,32 +1084,40 @@ void AuditNode(const Node* n, uint32_t order, bool is_root, int depth,
     }
     return;
   }
-  if (is_root && n->children.size() < 2) {
+  if (is_root && n->num_children < 2) {
     report->Add(path, "root-fanout", "internal root with < 2 children");
   }
-  if (n->keys.size() + 1 != n->children.size()) {
+  if (n->num_keys + 1 != n->num_children) {
     report->Add(path, "separator",
-                StrFormat("%zu separators for %zu children", n->keys.size(),
-                          n->children.size()));
+                StrFormat("%u separators for %u children", n->num_keys,
+                          n->num_children));
     return;  // child walk below indexes keys[i-1]; bail on this subtree
   }
   uint64_t total = 0;
-  for (size_t i = 0; i < n->children.size(); ++i) {
+  for (uint32_t i = 0; i < n->num_children; ++i) {
     const std::string child_path = (path.back() == '/' ? path : path + "/") +
                                    std::to_string(i);
-    if (n->children[i] == nullptr) {
+    if (n->in.child[i] == nullptr) {
       report->Add(child_path, "null-child", "null child pointer");
       continue;
     }
-    AuditNode(n->children[i], order, false, depth + 1, leaf_depth,
+    AuditNode(n->in.child[i], order, false, depth + 1, leaf_depth,
               child_path, report);
-    total += n->children[i]->count;
-    if (i > 0 && n->keys[i - 1] != MinKey(n->children[i])) {
+    total += n->in.child[i]->count;
+    if (n->in.ccount[i] != n->in.child[i]->count) {
+      report->Add(path, "child-count-cache",
+                  StrFormat("cached count %llu != child %u's count %llu",
+                            static_cast<unsigned long long>(n->in.ccount[i]),
+                            i,
+                            static_cast<unsigned long long>(
+                                n->in.child[i]->count)));
+    }
+    if (i > 0 && n->keys[i - 1] != MinKey(n->in.child[i])) {
       report->Add(
           path, "separator",
-          StrFormat("separator %llu != min key %llu of child %zu",
+          StrFormat("separator %llu != min key %llu of child %u",
                     static_cast<unsigned long long>(n->keys[i - 1]),
-                    static_cast<unsigned long long>(MinKey(n->children[i])),
+                    static_cast<unsigned long long>(MinKey(n->in.child[i])),
                     i));
     }
   }
@@ -1006,7 +1136,10 @@ namespace {
 void CollectReachable(const Node* n, std::unordered_set<const void*>* out) {
   if (n == nullptr) return;
   out->insert(n);
-  for (const Node* c : n->children) CollectReachable(c, out);
+  if (n->leaf) return;
+  for (uint32_t i = 0; i < n->num_children; ++i) {
+    CollectReachable(n->in.child[i], out);
+  }
 }
 
 }  // namespace
@@ -1068,21 +1201,12 @@ namespace {
 uint64_t CountReachable(const Node* n) {
   if (n == nullptr) return 0;
   uint64_t total = 1;
-  for (const Node* c : n->children) total += CountReachable(c);
+  if (!n->leaf) {
+    for (uint32_t i = 0; i < n->num_children; ++i) {
+      total += CountReachable(n->in.child[i]);
+    }
+  }
   return total;
-}
-
-uint64_t BufferBytes(const Node* n) {
-  return n->keys.capacity() * sizeof(Label) +
-         n->values.capacity() * sizeof(uint64_t) +
-         n->children.capacity() * sizeof(Node*);
-}
-
-uint64_t HeapBytesUnder(const Node* n) {
-  if (n == nullptr) return 0;
-  uint64_t bytes = BufferBytes(n);
-  for (const Node* c : n->children) bytes += HeapBytesUnder(c);
-  return bytes;
 }
 
 }  // namespace
@@ -1090,16 +1214,10 @@ uint64_t HeapBytesUnder(const Node* n) {
 uint64_t CountedBTree::NodeCount() const { return CountReachable(root_); }
 
 uint64_t CountedBTree::ApproxHeapBytes() const {
-  // Chunks pin a cache-line-padded slot whether the slot is live or on the
-  // free list; per-node vector buffers come on top — including the buffers
-  // free-list nodes retain for reuse, which a reachable-only walk would
-  // miss after delete-heavy churn.
-  uint64_t bytes =
-      arena_stats().chunks * BTreeNodeArena::kChunkBytes + HeapBytesUnder(root_);
-  if (arena_ != nullptr) {
-    arena_->ForEachFree([&bytes](const Node* n) { bytes += BufferBytes(n); });
-  }
-  return bytes;
+  // Every node's key/value/child storage is embedded in its arena slot, so
+  // the chunks — which pin a cache-line-padded slot whether the slot is
+  // live or on the free list — are the whole footprint.
+  return arena_stats().chunks * BTreeNodeArena::kChunkBytes;
 }
 
 }  // namespace obtree

@@ -34,6 +34,12 @@ namespace obtree {
 /// the node layout lives; a PoolArena instantiation like core/NodeArena).
 class BTreeNodeArena;
 
+/// Largest supported node order. Node key/child arrays are fixed-capacity
+/// (embedded in the 64B-aligned arena slot, no heap indirection), sized for
+/// kMaxNodeOrder plus one transient overflow slot on insert-then-split
+/// paths.
+inline constexpr uint32_t kMaxNodeOrder = 64;
+
 /// One key/value entry.
 struct Entry {
   Label key;
@@ -44,8 +50,8 @@ struct Entry {
 
 class CountedBTree {
  public:
-  /// `order` = max entries per leaf and max children per internal node.
-  /// Minimum occupancy is order/2 (root exempt).
+  /// `order` = max entries per leaf and max children per internal node, in
+  /// [4, kMaxNodeOrder]. Minimum occupancy is order/2 (root exempt).
   explicit CountedBTree(uint32_t order = 64);
   ~CountedBTree();
 
@@ -163,8 +169,9 @@ class CountedBTree {
   /// for tests and memory accounting, not hot paths.
   uint64_t NodeCount() const;
 
-  /// Measured heap footprint: arena chunks plus every reachable node's
-  /// key/value/child buffer capacities (for the Section 4.2 space bench).
+  /// Measured heap footprint: arena chunks (for the Section 4.2 space
+  /// bench). Every node's key/value/child storage is embedded in its
+  /// cache-line-padded arena slot, so chunks are the whole footprint.
   uint64_t ApproxHeapBytes() const;
 
   /// Opaque node type (defined in the .cc; public so file-local helpers can

@@ -4,6 +4,7 @@
 
 #include "common/macros.h"
 #include "common/string_util.h"
+#include "core/simd_search.h"
 
 namespace ltree {
 namespace query {
@@ -29,12 +30,11 @@ Status NodeTable::IndexRow(size_t slot_index) {
   if (!row.is_text) {
     auto& bucket = by_tag_[row.tag];
     // Insert keeping the bucket sorted by start label.
-    auto cmp = [this](size_t a, Label start) {
-      return rows_[a].row.region.start < start;
-    };
-    auto it =
-        std::lower_bound(bucket.begin(), bucket.end(), row.region.start, cmp);
-    bucket.insert(it, slot_index);
+    const uint32_t pos = search::LowerBoundBy(
+        bucket.data(), static_cast<uint32_t>(bucket.size()),
+        row.region.start,
+        [this](size_t a) { return rows_[a].row.region.start; });
+    bucket.insert(bucket.begin() + pos, slot_index);
   }
   if (row.parent_id != 0) {
     by_parent_[row.parent_id].push_back(slot_index);

@@ -6,6 +6,7 @@
 #include "common/macros.h"
 #include "common/math_util.h"
 #include "common/string_util.h"
+#include "core/simd_search.h"
 
 namespace ltree {
 
@@ -229,12 +230,9 @@ Status VirtualLTree::RebuildWithPending(uint32_t vh, Label anchor,
     // Root split (Algorithm 1 lines 18-20): collect everything, grow the
     // height, reassign all labels from 0.
     std::vector<obtree::Entry> all = btree_.ScanAll();
-    const size_t r = static_cast<size_t>(
-        std::lower_bound(all.begin(), all.end(), insert_before_key,
-                         [](const obtree::Entry& e, Label key) {
-                           return e.key < key;
-                         }) -
-        all.begin());
+    const size_t r = search::LowerBoundBy(
+        all.data(), static_cast<uint32_t>(all.size()), insert_before_key,
+        [](const obtree::Entry& e) { return e.key; });
     std::vector<obtree::Entry> combined;
     combined.reserve(all.size() + pending.size());
     combined.insert(combined.end(), all.begin(), all.begin() + r);
@@ -289,12 +287,9 @@ Status VirtualLTree::RebuildWithPending(uint32_t vh, Label anchor,
   const uint64_t q_interval = powers_.PowF1(h + 1);
 
   std::vector<obtree::Entry> olds = btree_.Scan(v_base, v_base + interval);
-  const size_t r = static_cast<size_t>(
-      std::lower_bound(olds.begin(), olds.end(), insert_before_key,
-                       [](const obtree::Entry& e, Label key) {
-                         return e.key < key;
-                       }) -
-      olds.begin());
+  const size_t r = search::LowerBoundBy(
+      olds.data(), static_cast<uint32_t>(olds.size()), insert_before_key,
+      [](const obtree::Entry& e) { return e.key; });
   std::vector<obtree::Entry> combined;
   combined.reserve(olds.size() + pending.size());
   combined.insert(combined.end(), olds.begin(), olds.begin() + r);

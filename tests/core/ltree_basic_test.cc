@@ -264,6 +264,41 @@ TEST(LTreeStatsTest, AmortizedCostAccounting) {
   EXPECT_GT(st.AmortizedCostPerInsert(), 0.0);
 }
 
+TEST(LTreeFindLeafByLabelTest, ResolvesEveryLeafArithmetically) {
+  auto tree = LTree::Create(Params{.f = 4, .s = 2}).ValueOrDie();
+  ASSERT_TRUE(tree->BulkLoad(MakeCookies(8)).ok());
+  // Grow past one rebuild so labels are no longer the bulk-load pattern.
+  auto mid = tree->FirstLeaf();
+  for (int i = 0; i < 40; ++i) {
+    mid = tree->InsertAfter(mid, 100 + i).ValueOrDie();
+  }
+  for (auto leaf = tree->FirstLeaf(); leaf != nullptr;
+       leaf = tree->NextLeaf(leaf)) {
+    EXPECT_EQ(tree->FindLeafByLabel(tree->label(leaf)), leaf);
+  }
+}
+
+TEST(LTreeFindLeafByLabelTest, UnassignedLabelsResolveToNull) {
+  auto tree = LTree::Create(Params{.f = 4, .s = 2}).ValueOrDie();
+  ASSERT_TRUE(tree->BulkLoad(MakeCookies(8)).ok());
+  std::vector<Label> assigned = tree->AllLabels();
+  for (Label probe = 0; probe < tree->label_space() + 3; ++probe) {
+    const bool taken =
+        std::find(assigned.begin(), assigned.end(), probe) != assigned.end();
+    const LTree::LeafHandle got = tree->FindLeafByLabel(probe);
+    EXPECT_EQ(got != nullptr, taken) << "label " << probe;
+    if (got != nullptr) EXPECT_EQ(tree->label(got), probe);
+  }
+}
+
+TEST(LTreeFindLeafByLabelTest, TombstonedLeavesStillResolve) {
+  auto tree = LTree::Create(Params{.f = 4, .s = 2}).ValueOrDie();
+  ASSERT_TRUE(tree->BulkLoad(MakeCookies(8)).ok());
+  auto leaf = tree->NextLeaf(tree->FirstLeaf());
+  ASSERT_TRUE(tree->MarkDeleted(leaf).ok());
+  EXPECT_EQ(tree->FindLeafByLabel(tree->label(leaf)), leaf);
+}
+
 TEST(LTreeDebugStringTest, MentionsShape) {
   auto tree = LTree::Create(Params{.f = 4, .s = 2}).ValueOrDie();
   ASSERT_TRUE(tree->BulkLoad(MakeCookies(4)).ok());

@@ -44,19 +44,23 @@ import sys
 import time
 
 IDENTITY_FIELDS = ("f", "s", "n", "k", "inserts", "spec", "scheme",
-                   "shards", "theta", "sessions", "docs", "ops", "readers")
+                   "shards", "theta", "sessions", "docs", "ops", "readers",
+                   "width", "kernel", "path")
 
 # Lower-is-better measurement columns, eligible for --fail-above.
 LOWER_IS_BETTER = re.compile(
     r"(_ms$|_seconds$|^wall|per_leaf$|per_insert$|_ratio$|^mallocs|"
-    r"^virt_mallocs$|_ns$)"
+    r"^virt_mallocs$|_ns$|_cycles$)"
 )
 
 # Identity-ish or boolean columns that should never be treated as a trend.
 SKIP_FIELDS = set(IDENTITY_FIELDS) | {"labels_equal", "label_space",
                                       "label_bits", "height",
                                       "op_samples", "read_samples",
-                                      "elapsed_sec"}
+                                      "elapsed_sec", "edits", "results",
+                                      "edge_joins",
+                                      "label_join_samples",
+                                      "edit_query_round_samples"}
 
 
 def load(path):
